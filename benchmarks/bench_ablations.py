@@ -1,0 +1,43 @@
+"""Bench: ablations of NFVnice's design choices (DESIGN.md §5)."""
+
+from benchmarks.conftest import bench_duration
+from repro.experiments import ablations
+
+
+def test_ablation_selectivity(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: {sel: ablations.run_selectivity(sel, duration_s=0.5)
+                 for sel in (True, False)},
+        rounds=1, iterations=1,
+    )
+    report(ablations.format_selectivity(results))
+
+
+def test_ablation_hysteresis(benchmark, report):
+    duration = bench_duration()
+    results = benchmark.pedantic(
+        lambda: {t: ablations.run_hysteresis(t, duration_s=duration)
+                 for t in ablations.HYSTERESIS_SWEEP_NS},
+        rounds=1, iterations=1,
+    )
+    report(ablations.format_hysteresis(results))
+
+
+def test_ablation_estimator(benchmark, report):
+    duration = bench_duration()
+    results = benchmark.pedantic(
+        lambda: {est: ablations.run_estimator(est, duration_s=duration)
+                 for est in ("median", "mean")},
+        rounds=1, iterations=1,
+    )
+    report(ablations.format_estimator(results))
+
+
+def test_ablation_weight_period(benchmark, report):
+    duration = bench_duration()
+    results = benchmark.pedantic(
+        lambda: {p: ablations.run_weight_period(p, duration_s=duration)
+                 for p in ablations.WEIGHT_PERIODS_NS},
+        rounds=1, iterations=1,
+    )
+    report(ablations.format_weight_period(results))

@@ -1,0 +1,20 @@
+"""Bench: ECN congestion-signalling extensions (§3.3) — single host and
+across a two-host chain."""
+
+from repro.experiments import cross_host_ecn, ecn_extension
+
+
+def test_ecn_extension(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: ecn_extension.run_ecn(duration_s=5.0),
+        rounds=1, iterations=1,
+    )
+    report(ecn_extension.format_ecn(results))
+
+
+def test_cross_host_ecn(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: cross_host_ecn.run_cross_host(duration_s=5.0),
+        rounds=1, iterations=1,
+    )
+    report(cross_host_ecn.format_cross_host(results))

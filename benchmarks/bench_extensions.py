@@ -1,0 +1,34 @@
+"""Bench: extensions beyond the paper's figures — NUMA placement and
+priority-based differentiated service."""
+
+from benchmarks.conftest import bench_duration
+from repro.experiments import numa_placement, priority_differentiation
+
+
+def test_numa_placement(benchmark, report):
+    duration = bench_duration()
+    results = benchmark.pedantic(
+        lambda: numa_placement.run_numa(duration_s=duration),
+        rounds=1, iterations=1,
+    )
+    report(numa_placement.format_numa(results))
+
+
+def test_priority_differentiation(benchmark, report):
+    duration = bench_duration()
+    results = benchmark.pedantic(
+        lambda: priority_differentiation.run_priority(duration_s=duration),
+        rounds=1, iterations=1,
+    )
+    report(priority_differentiation.format_priority(results))
+
+
+def test_cooperative_comparison(benchmark, report):
+    from repro.experiments import cooperative_comparison
+
+    duration = bench_duration()
+    results = benchmark.pedantic(
+        lambda: cooperative_comparison.run_comparison(duration_s=duration),
+        rounds=1, iterations=1,
+    )
+    report(cooperative_comparison.format_comparison(results))

@@ -1,0 +1,32 @@
+"""Bench: Figure 1a/1b + Tables 1-2 — scheduler motivation study (§2.2)."""
+
+from benchmarks.conftest import bench_duration
+from repro.experiments import fig01_motivation as fig01
+
+_cache = {}
+
+
+def _grid(duration):
+    if duration not in _cache:
+        _cache[duration] = fig01.run_figure1(duration_s=duration)
+    return _cache[duration]
+
+
+def test_figure1_throughput_and_cpu(benchmark, report):
+    duration = bench_duration()
+    results = benchmark.pedantic(lambda: _grid(duration),
+                                 rounds=1, iterations=1)
+    report("\n".join([
+        fig01.format_throughput_table(results, "homogeneous"),
+        fig01.format_throughput_table(results, "heterogeneous"),
+    ]))
+
+
+def test_tables1_2_context_switches(benchmark, report):
+    duration = bench_duration()
+    results = benchmark.pedantic(lambda: _grid(duration),
+                                 rounds=1, iterations=1)
+    report("\n".join([
+        fig01.format_context_switch_table(results, "homogeneous"),
+        fig01.format_context_switch_table(results, "heterogeneous"),
+    ]))

@@ -1,0 +1,16 @@
+"""Bench: Figure 9 + Table 6 — two chains sharing NF1/NF4 (§4.2.2)."""
+
+from benchmarks.conftest import bench_duration
+from repro.experiments import fig09_shared_chains as fig09
+
+
+def test_figure9_table6_shared_chains(benchmark, report):
+    duration = bench_duration()
+    results = benchmark.pedantic(
+        lambda: fig09.run_fig9(duration_s=duration),
+        rounds=1, iterations=1,
+    )
+    report("\n".join([
+        fig09.format_figure9(results),
+        fig09.format_table6(results),
+    ]))

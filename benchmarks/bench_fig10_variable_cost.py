@@ -1,0 +1,13 @@
+"""Bench: Figure 10 — variable per-packet processing cost (§4.3.1)."""
+
+from benchmarks.conftest import bench_duration
+from repro.experiments import fig10_variable_cost as fig10
+
+
+def test_figure10_variable_cost(benchmark, report):
+    duration = bench_duration()
+    results = benchmark.pedantic(
+        lambda: fig10.run_grid(duration_s=duration),
+        rounds=1, iterations=1,
+    )
+    report(fig10.format_figure10(results))

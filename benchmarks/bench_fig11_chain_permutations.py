@@ -1,0 +1,13 @@
+"""Bench: Figure 11 — all six orderings of the Low/Med/High chain (§4.3.2)."""
+
+from benchmarks.conftest import bench_duration
+from repro.experiments import fig11_chain_permutations as fig11
+
+
+def test_figure11_chain_permutations(benchmark, report):
+    duration = bench_duration()
+    results = benchmark.pedantic(
+        lambda: fig11.run_grid(duration_s=duration),
+        rounds=1, iterations=1,
+    )
+    report(fig11.format_figure11(results))

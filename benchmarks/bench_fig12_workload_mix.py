@@ -1,0 +1,14 @@
+"""Bench: Figure 12 — workload heterogeneity, random per-flow NF order
+(§4.3.3)."""
+
+from benchmarks.conftest import bench_duration
+from repro.experiments import fig12_workload_mix as fig12
+
+
+def test_figure12_workload_mix(benchmark, report):
+    duration = bench_duration()
+    results = benchmark.pedantic(
+        lambda: fig12.run_grid(duration_s=duration),
+        rounds=1, iterations=1,
+    )
+    report(fig12.format_figure12(results))

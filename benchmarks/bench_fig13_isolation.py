@@ -1,0 +1,20 @@
+"""Bench: Figure 13 — TCP/UDP performance isolation (§4.3.4).
+
+Runs the compressed timeline (UDP on at 6 s, off at 16 s, 22 s total);
+``REPRO_BENCH_DURATION`` is ignored here because the artifact's dynamics
+need the full on/off window.
+"""
+
+from repro.analysis.sparkline import render_series
+from repro.experiments import fig13_isolation as fig13
+
+
+def test_figure13_isolation(benchmark, report):
+    results = benchmark.pedantic(fig13.run_isolation, rounds=1, iterations=1)
+    parts = [fig13.format_figure13(results), ""]
+    for system, res in results.items():
+        parts.append(render_series(res.tcp_gbps, f"{system} TCP Gbps/s",
+                                   unit="G"))
+        parts.append(render_series(res.udp_gbps, f"{system} UDP Gbps/s",
+                                   unit="G"))
+    report("\n".join(parts))

@@ -1,0 +1,14 @@
+"""Bench: Figure 14 — async vs sync NF disk I/O across packet sizes
+(§4.3.5)."""
+
+from benchmarks.conftest import bench_duration
+from repro.experiments import fig14_io as fig14
+
+
+def test_figure14_io(benchmark, report):
+    duration = bench_duration()
+    results = benchmark.pedantic(
+        lambda: fig14.run_fig14(duration_s=duration),
+        rounds=1, iterations=1,
+    )
+    report(fig14.format_figure14(results))

@@ -1,0 +1,25 @@
+"""Bench: Figure 15a/b/c — dynamic CPU tuning and fairness (§4.3.6)."""
+
+from benchmarks.conftest import bench_duration
+from repro.experiments import fig15_fairness as fig15
+
+
+def test_figure15a_dynamic_tuning(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: {system: fig15.run_dynamic_tuning(system)
+                 for system in ("Default", "NFVnice")},
+        rounds=1, iterations=1,
+    )
+    report(fig15.format_figure15a(results))
+
+
+def test_figure15bc_fairness_vs_diversity(benchmark, report):
+    duration = bench_duration()
+    results = benchmark.pedantic(
+        lambda: fig15.run_diversity(duration_s=duration),
+        rounds=1, iterations=1,
+    )
+    report("\n".join([
+        fig15.format_figure15b(results),
+        fig15.format_figure15c(results),
+    ]))

@@ -1,0 +1,13 @@
+"""Bench: Table 5 — 3-NF chain, one dedicated core per NF (§4.2.2)."""
+
+from benchmarks.conftest import bench_duration
+from repro.experiments import tab05_multicore_chain as tab05
+
+
+def test_table5_multicore_chain(benchmark, report):
+    duration = bench_duration()
+    results = benchmark.pedantic(
+        lambda: tab05.run_table5(duration_s=duration),
+        rounds=1, iterations=1,
+    )
+    report(tab05.format_table5(results))

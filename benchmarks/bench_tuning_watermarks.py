@@ -1,0 +1,15 @@
+"""Bench: §4.3.8 — HIGH watermark and margin tuning sweeps."""
+
+from benchmarks.conftest import bench_duration
+from repro.experiments import tuning_watermarks as tuning
+
+
+def test_watermark_tuning(benchmark, report):
+    duration = bench_duration()
+
+    def run():
+        return (tuning.run_high_sweep(duration_s=duration),
+                tuning.run_margin_sweep(duration_s=duration))
+
+    high, margin = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(tuning.format_sweeps(high, margin))

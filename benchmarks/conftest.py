@@ -1,0 +1,53 @@
+"""Benchmark-suite plumbing.
+
+Each bench regenerates one paper artifact (table or figure), reports its
+wall time through pytest-benchmark, and hands the reproduced rows to the
+``report`` fixture — which saves them under ``benchmarks/results/`` and
+re-prints everything in the terminal summary so the artifact output
+survives pytest's stdout capture.
+
+``REPRO_BENCH_DURATION`` (seconds of simulated time per run, default 1.0)
+trades fidelity against wall time.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import List, Tuple
+
+import pytest
+
+_TABLES: List[Tuple[str, str]] = []
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_duration(default: float = 1.0) -> float:
+    return float(os.environ.get("REPRO_BENCH_DURATION", default))
+
+
+@pytest.fixture
+def report(request):
+    """Record a reproduced artifact table for the terminal summary."""
+
+    def _report(text: str) -> None:
+        name = request.node.name
+        _TABLES.append((name, text))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        path = _RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        "=========== reproduced paper artifacts (also saved under "
+        "benchmarks/results/) ===========")
+    for _name, table in _TABLES:
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+        terminalreporter.write_line("")

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""An NF that logs packets to disk: blocking writes vs libnf's async I/O.
+
+Two flows share a forwarder → logger chain; only ``flow-logged`` is
+written to disk.  With synchronous writes every logged packet stalls the
+whole NF for a device round trip, head-of-line blocking the innocent
+flow.  libnf's batched, double-buffered asynchronous path (§3.4) keeps
+the NF processing while the device drains.
+
+Run:  python examples/disk_logging_nf.py
+"""
+
+from repro import (
+    SEC,
+    AsyncIOContext,
+    DiskDevice,
+    EventLoop,
+    Flow,
+    NFManager,
+    PlatformConfig,
+    SyncIOContext,
+    TrafficGenerator,
+    default_platform_config,
+    make_logger,
+    make_nf,
+    render_table,
+)
+
+
+def run(use_async: bool, pkt_size: int = 256, duration_s: float = 1.0):
+    loop = EventLoop()
+    config = PlatformConfig() if use_async else default_platform_config()
+    manager = NFManager(loop, scheduler="BATCH", config=config)
+
+    disk = DiskDevice(loop, bandwidth_bps=400e6 * 8)  # 400 MB/s
+    if use_async:
+        io = AsyncIOContext(loop, disk, buffer_requests=256)
+    else:
+        io = SyncIOContext(loop, disk)
+
+    manager.add_nf(make_nf("fwd", 270, config=config), core_id=0)
+    manager.add_nf(
+        make_logger("logger", io, config=config,
+                    io_selector=lambda f: f.flow_id == "flow-logged"),
+        core_id=0,
+    )
+    logged_chain = manager.add_chain("logged", [manager.nf_by_name("fwd"),
+                                                manager.nf_by_name("logger")])
+    plain_chain = manager.add_chain("plain", [manager.nf_by_name("fwd"),
+                                              manager.nf_by_name("logger")])
+
+    generator = TrafficGenerator(loop, manager.nic)
+    for name, chain in (("flow-logged", logged_chain),
+                        ("flow-plain", plain_chain)):
+        flow = Flow(name, pkt_size=pkt_size)
+        manager.install_flow(flow, chain)
+        generator.add_line_rate_flows([flow])
+        generator.specs[-1].rate_pps /= 2  # split line rate between the two
+
+    manager.start()
+    generator.start()
+    loop.run_until(int(duration_s * SEC))
+    manager.finalize()
+
+    return {
+        "logged_gbps": logged_chain.completed_bytes * 8 / duration_s / 1e9,
+        "plain_gbps": plain_chain.completed_bytes * 8 / duration_s / 1e9,
+        "disk_MB": disk.bytes_written / 1e6,
+        "device_ops": disk.ops,
+    }
+
+
+def main() -> None:
+    rows = []
+    for use_async in (False, True):
+        stats = run(use_async)
+        rows.append([
+            "async (libnf)" if use_async else "sync (baseline)",
+            round(stats["logged_gbps"], 3),
+            round(stats["plain_gbps"], 3),
+            round(stats["disk_MB"], 1),
+            stats["device_ops"],
+        ])
+    print(render_table(
+        ["I/O mode", "logged-flow Gbps", "plain-flow Gbps",
+         "disk MB written", "device ops"],
+        rows, title="Packet-logging NF at 256 B packets",
+    ))
+    print()
+    print("Batched async I/O amortises device ops and stops one flow's disk")
+    print("writes from head-of-line blocking the other flow.")
+
+
+if __name__ == "__main__":
+    main()

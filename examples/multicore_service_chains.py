@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Two service chains sharing NF instances across four cores (Figure 8).
+
+chain-1: NF1(270) → NF2(120) → NF4(300)     - light, no bottleneck
+chain-2: NF1(270) → NF3(4500) → NF4(300)    - bottlenecked at NF3
+
+NF1 and NF4 are *shared instances*.  Without NFVnice, NF1 burns its core
+processing chain-2 packets that NF3 will drop, and chain-1 starves.  With
+selective backpressure, chain-2 is shed at the system entry, chain-1
+reclaims NF1's cycles, and chain-2 still runs at NF3's full rate.
+
+Run:  python examples/multicore_service_chains.py
+"""
+
+from repro.experiments.common import Scenario
+from repro.metrics.report import render_table
+
+TOPOLOGY = {"nf1": 270, "nf2": 120, "nf3": 4500, "nf4": 300}
+
+
+def run(features: str, duration_s: float = 1.0):
+    scenario = Scenario(scheduler="NORMAL", features=features,
+                        num_rx_threads=2)
+    for core_id, (name, cycles) in enumerate(TOPOLOGY.items()):
+        scenario.add_nf(name, cycles, core=core_id)
+    scenario.add_chain("chain-1", ["nf1", "nf2", "nf4"])
+    scenario.add_chain("chain-2", ["nf1", "nf3", "nf4"])
+    scenario.add_flow("flow-1", "chain-1", line_rate_fraction=0.5)
+    scenario.add_flow("flow-2", "chain-2", line_rate_fraction=0.5)
+    return scenario.run(duration_s)
+
+
+def main() -> None:
+    results = {f: run(f) for f in ("Default", "NFVnice")}
+    rows = []
+    for chain in ("chain-1", "chain-2"):
+        row = [chain]
+        for features in ("Default", "NFVnice"):
+            row.append(round(results[features].chain(chain).throughput_pps
+                             / 1e6, 3))
+        rows.append(row)
+    print(render_table(["chain", "Default Mpps", "NFVnice Mpps"], rows,
+                       title="Shared-NF chains on 4 cores"))
+
+    rows = []
+    for name in TOPOLOGY:
+        row = [name]
+        for features in ("Default", "NFVnice"):
+            res = results[features]
+            util = res.core_utilization[res.nf(name).core_id]
+            row.append(f"{100 * util:.0f}%")
+        rows.append(row)
+    print(render_table(["NF (own core)", "Default CPU", "NFVnice CPU"], rows,
+                       title="Per-core utilisation"))
+    print("\nBackpressure sheds chain-2's excess at entry: chain-1 speeds up,"
+          "\nchain-2 holds its bottleneck rate, and shared NF1 stops wasting"
+          "\ncycles on doomed packets.")
+
+
+if __name__ == "__main__":
+    main()

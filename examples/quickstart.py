@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: a 3-NF service chain on one shared core, Default vs NFVnice.
+
+Builds the paper's §4.2.1 scenario — Low (120 cyc) → Medium (270 cyc) →
+High (550 cyc) NFs sharing a CPU core, 64-byte packets at 10 GbE line
+rate — and shows what NFVnice's cgroup weights plus backpressure buy:
+higher chain throughput and near-zero wasted work.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    SEC,
+    EventLoop,
+    Flow,
+    NFManager,
+    PlatformConfig,
+    TrafficGenerator,
+    default_platform_config,
+    make_nf,
+    render_table,
+)
+
+
+def run_chain(nfvnice: bool, duration_s: float = 1.0):
+    """One simulated second of the Figure 7 chain."""
+    loop = EventLoop()
+    config = PlatformConfig() if nfvnice else default_platform_config()
+
+    manager = NFManager(loop, scheduler="BATCH", config=config)
+    nfs = [
+        manager.add_nf(make_nf(f"nf{i}", cycles, config=config), core_id=0)
+        for i, cycles in enumerate((120, 270, 550), start=1)
+    ]
+    chain = manager.add_chain("chain", nfs)
+
+    flow = Flow("flow-0", pkt_size=64)
+    manager.install_flow(flow, chain)
+
+    generator = TrafficGenerator(loop, manager.nic)
+    generator.add_line_rate_flows([flow])
+
+    manager.start()
+    generator.start()
+    loop.run_until(int(duration_s * SEC))
+    manager.finalize()
+    return manager, chain, duration_s
+
+
+def main() -> None:
+    rows = []
+    for nfvnice in (False, True):
+        manager, chain, duration = run_chain(nfvnice)
+        label = "NFVnice" if nfvnice else "Default"
+        rows.append([
+            label,
+            chain.completed / duration / 1e6,                  # Mpps out
+            manager.total_wasted_drops / duration / 1e6,       # wasted Mpps
+            manager.total_entry_discards / duration / 1e6,     # shed early
+        ])
+    print(render_table(
+        ["system", "throughput Mpps", "wasted Mpps", "early-discard Mpps"],
+        rows,
+        title="3-NF chain (120/270/550 cycles) on one core, BATCH scheduler",
+    ))
+    print()
+    print("NFVnice converts millions of wasted packet-drops per second into")
+    print("early discards that never consume NF cycles - and throughput rises.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Side-by-side result comparison.
+
+The evaluation constantly contrasts a Default run with an NFVnice run of
+the same topology; :func:`compare_results` renders that contrast as one
+table with speedup factors.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.common import ScenarioResult
+from repro.metrics.report import render_table
+
+
+def _ratio(new: float, old: float) -> str:
+    if old == 0:
+        return "inf" if new > 0 else "1.0x"
+    return f"{new / old:.2f}x"
+
+
+def compare_results(baseline: ScenarioResult, candidate: ScenarioResult,
+                    baseline_label: str = "baseline",
+                    candidate_label: str = "candidate") -> str:
+    """A table contrasting two runs of the same topology."""
+    rows: List[list] = [
+        [
+            "total throughput (pps)",
+            baseline.total_throughput_pps,
+            candidate.total_throughput_pps,
+            _ratio(candidate.total_throughput_pps,
+                   baseline.total_throughput_pps),
+        ],
+        [
+            "wasted drops (pps)",
+            baseline.total_wasted_pps,
+            candidate.total_wasted_pps,
+            _ratio(candidate.total_wasted_pps, baseline.total_wasted_pps),
+        ],
+        [
+            "entry discards (pps)",
+            baseline.total_entry_discard_pps,
+            candidate.total_entry_discard_pps,
+            _ratio(candidate.total_entry_discard_pps,
+                   baseline.total_entry_discard_pps),
+        ],
+    ]
+    for name in sorted(set(baseline.chains) & set(candidate.chains)):
+        b, c = baseline.chain(name), candidate.chain(name)
+        rows.append([
+            f"chain {name} (pps)",
+            b.throughput_pps,
+            c.throughput_pps,
+            _ratio(c.throughput_pps, b.throughput_pps),
+        ])
+        rows.append([
+            f"chain {name} p50 latency (us)",
+            b.latency_p50_us,
+            c.latency_p50_us,
+            _ratio(c.latency_p50_us, b.latency_p50_us),
+        ])
+    for name in sorted(set(baseline.nfs) & set(candidate.nfs)):
+        b_nf, c_nf = baseline.nf(name), candidate.nf(name)
+        rows.append([
+            f"NF {name} cpu share",
+            round(b_nf.cpu_share, 3),
+            round(c_nf.cpu_share, 3),
+            _ratio(c_nf.cpu_share, b_nf.cpu_share),
+        ])
+    return render_table(
+        ["metric", baseline_label, candidate_label, "ratio"],
+        rows,
+        title=f"{candidate_label} vs {baseline_label} "
+              f"({baseline.scheduler} scheduler)",
+    )

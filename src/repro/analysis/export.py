@@ -1,0 +1,68 @@
+"""Serialising scenario results.
+
+``ScenarioResult`` is a tree of dataclasses plus time series; these
+helpers flatten it to JSON-compatible dicts so that experiment outputs
+can be archived next to the code revision that produced them and diffed
+run-over-run (the reproduction's equivalent of keeping the testbed's raw
+measurement logs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.experiments.common import ScenarioResult
+from repro.metrics.timeseries import TimeSeries
+
+
+def result_to_dict(result: ScenarioResult,
+                   include_series: bool = True) -> Dict[str, Any]:
+    """Flatten a :class:`ScenarioResult` into JSON-compatible data."""
+    out: Dict[str, Any] = {
+        "scheduler": result.scheduler,
+        "features": result.features,
+        "duration_s": result.duration_s,
+        "total_throughput_pps": result.total_throughput_pps,
+        "total_wasted_pps": result.total_wasted_pps,
+        "total_entry_discard_pps": result.total_entry_discard_pps,
+        "chains": {name: dataclasses.asdict(c)
+                   for name, c in result.chains.items()},
+        "nfs": {name: dataclasses.asdict(n)
+                for name, n in result.nfs.items()},
+        "core_utilization": {str(k): v
+                             for k, v in result.core_utilization.items()},
+    }
+    if include_series:
+        out["series"] = {
+            name: {"times": list(ts.times), "values": list(ts.values)}
+            for name, ts in result.series.items()
+        }
+    return out
+
+
+def save_result(result: ScenarioResult, path: Union[str, Path],
+                include_series: bool = True) -> Path:
+    """Write a result as JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(result_to_dict(result, include_series), fh, indent=2)
+    return path
+
+
+def load_result_dict(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read back a saved result (as a plain dict — sufficient for
+    comparisons and plotting; the live object graph is not recreated)."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def series_from_dict(data: Dict[str, Any], name: str = "") -> TimeSeries:
+    """Rebuild a :class:`TimeSeries` from its exported form."""
+    ts = TimeSeries(name)
+    for t, v in zip(data["times"], data["values"]):
+        ts.append(int(t), float(v))
+    return ts

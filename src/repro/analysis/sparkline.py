@@ -1,0 +1,62 @@
+"""ASCII sparklines for time series.
+
+Terminal-friendly rendering of per-second series — enough to *see*
+Figure 13's TCP collapse-and-recovery or 15a's share step without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.metrics.timeseries import TimeSeries
+
+#: Eight-level block ramp.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """Render ``values`` as one line of block characters.
+
+    ``lo``/``hi`` pin the scale (default: data min/max), so multiple
+    sparklines can share an axis.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo = min(vals) if lo is None else float(lo)
+    hi = max(vals) if hi is None else float(hi)
+    span = hi - lo
+    if span <= 0:
+        mid = _BLOCKS[len(_BLOCKS) // 2]
+        return mid * len(vals)
+    out = []
+    top = len(_BLOCKS) - 1
+    for v in vals:
+        norm = (v - lo) / span
+        idx = int(round(norm * top))
+        out.append(_BLOCKS[max(0, min(top, idx))])
+    return "".join(out)
+
+
+def render_series(series: TimeSeries, label: str = "",
+                  width: int = 60, unit: str = "") -> str:
+    """A labelled sparkline with min/max annotations, resampled to
+    ``width`` columns by bucket-averaging."""
+    values = list(series.values)
+    if not values:
+        return f"{label}: (empty)"
+    if len(values) > width:
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket):max(int(i * bucket) + 1,
+                                           int((i + 1) * bucket))])
+            / max(1, len(values[int(i * bucket):max(int(i * bucket) + 1,
+                                                    int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    line = sparkline(values, lo, hi)
+    prefix = f"{label}: " if label else ""
+    return f"{prefix}[{line}] min={lo:.3g}{unit} max={hi:.3g}{unit}"

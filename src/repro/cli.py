@@ -1,0 +1,143 @@
+"""Command-line interface: run any paper-artifact experiment.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig07 --duration 2.0
+    python -m repro run tab05
+    python -m repro topology my_topology.json --duration 1.0
+
+``run`` prints the same rows the paper's table/figure reports (each
+experiment module's ``main``); ``topology`` builds a declarative JSON
+topology (see :mod:`repro.platform.orchestrator`) and reports per-chain
+throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.metrics.report import render_table
+
+#: experiment id -> (module path, description).  The id space mirrors
+#: DESIGN.md's experiment index.
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig01": ("repro.experiments.fig01_motivation",
+              "Fig 1 + Tables 1-2: scheduler motivation study"),
+    "fig07": ("repro.experiments.fig07_single_core_chain",
+              "Fig 7 + Tables 3-4: 3-NF chain on one shared core"),
+    "tab05": ("repro.experiments.tab05_multicore_chain",
+              "Table 5: chain with one core per NF"),
+    "fig09": ("repro.experiments.fig09_shared_chains",
+              "Fig 9 + Table 6: two chains sharing NF instances"),
+    "fig10": ("repro.experiments.fig10_variable_cost",
+              "Fig 10: variable per-packet cost"),
+    "fig11": ("repro.experiments.fig11_chain_permutations",
+              "Fig 11: all orderings of the Low/Med/High chain"),
+    "fig12": ("repro.experiments.fig12_workload_mix",
+              "Fig 12: random per-flow NF orders"),
+    "fig13": ("repro.experiments.fig13_isolation",
+              "Fig 13: TCP vs UDP performance isolation"),
+    "fig14": ("repro.experiments.fig14_io",
+              "Fig 14: async vs sync NF disk I/O"),
+    "fig15": ("repro.experiments.fig15_fairness",
+              "Fig 15: dynamic tuning + fairness vs diversity"),
+    "fig16": ("repro.experiments.fig16_chain_length",
+              "Fig 16: chain lengths 1..10, SC and MC"),
+    "tuning": ("repro.experiments.tuning_watermarks",
+               "Sec 4.3.8: watermark tuning sweeps"),
+    "ablations": ("repro.experiments.ablations",
+                  "Ablations: selectivity, hysteresis, estimator, period"),
+    "ecn": ("repro.experiments.ecn_extension",
+            "ECN congestion-signalling extension"),
+    "numa": ("repro.experiments.numa_placement",
+             "NUMA-aware vs cross-socket chain placement"),
+    "priority": ("repro.experiments.priority_differentiation",
+                 "Sec 3.2: priority-weighted differentiated service"),
+    "crosshost": ("repro.experiments.cross_host_ecn",
+                  "Sec 3.3: cross-host chain with ECN signalling"),
+    "coop": ("repro.experiments.cooperative_comparison",
+             "Sec 5: cooperative (L-thread) scheduling comparison"),
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [[name, desc] for name, (_mod, desc) in sorted(EXPERIMENTS.items())]
+    print(render_table(["experiment", "reproduces"], rows,
+                       title="available experiments"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try: python -m repro list", file=sys.stderr)
+        return 2
+    import importlib
+
+    module_path, _desc = EXPERIMENTS[args.experiment]
+    module = importlib.import_module(module_path)
+    kwargs = {}
+    if args.duration is not None:
+        kwargs["duration_s"] = args.duration
+    print(module.main(**kwargs))
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.platform.orchestrator import load_topology
+
+    topology = load_topology(args.path, seed=args.seed)
+    topology.run(args.duration or 1.0)
+    duration = args.duration or 1.0
+    rows = []
+    for chain in topology.manager.chains.values():
+        rows.append([
+            chain.name,
+            round(chain.completed / duration / 1e6, 3),
+            round(chain.wasted_drops / duration / 1e6, 3),
+            round(chain.entry_discards / duration / 1e6, 3),
+        ])
+    print(render_table(
+        ["chain", "tput Mpps", "wasted Mpps", "entry-drop Mpps"], rows,
+        title=f"topology {args.path} ({duration:g}s simulated)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NFVnice (SIGCOMM 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments") \
+        .set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="run one experiment and print its "
+                                     "paper-artifact table")
+    run.add_argument("experiment", help="experiment id (see 'list')")
+    run.add_argument("--duration", type=float, default=None,
+                     help="simulated seconds per case (experiment default "
+                          "if omitted)")
+    run.set_defaults(func=_cmd_run)
+
+    topo = sub.add_parser("topology", help="run a declarative JSON topology")
+    topo.add_argument("path", help="path to the topology JSON file")
+    topo.add_argument("--duration", type=float, default=1.0)
+    topo.add_argument("--seed", type=int, default=0)
+    topo.set_defaults(func=_cmd_topology)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""NFVnice: the paper's contribution.
+
+* :mod:`~repro.core.nf` — the NF process model: libnf's batch-of-32 loop,
+  relinquish-flag checks, voluntary yields on empty ring / full Tx ring /
+  full I/O buffers, and service-time sampling.
+* :mod:`~repro.core.libnf` — the developer-facing API from Figure 6
+  (``read_pkt``/``write_pkt``/``read_data``/``write_data``) for writing
+  callback-style NFs.
+* :mod:`~repro.core.io` — asynchronous, double-buffered disk I/O (§3.4)
+  and the synchronous baseline.
+* :mod:`~repro.core.backpressure` — the watch/throttle/clear state machine
+  (Figure 4) with cross-chain entry-point discard (Figure 5).
+* :mod:`~repro.core.cgroup_policy` — rate-cost proportional share
+  computation (§3.2).
+* :mod:`~repro.core.monitor` — the Monitor thread: 1 ms load estimation,
+  100 ms median service time, 10 ms weight writes (§3.5).
+* :mod:`~repro.core.ecn` — EWMA queue-length ECN marking for responsive
+  flows (§3.3).
+"""
+
+from repro.core.backpressure import BackpressureController, BackpressureState
+from repro.core.cgroup_policy import compute_shares
+from repro.core.ecn import ECNMarker
+from repro.core.io import AsyncIOContext, DiskDevice, SyncIOContext
+from repro.core.libnf import CallbackNF, LibnfAPI
+from repro.core.monitor import MonitorThread
+from repro.core.nf import NFProcess
+
+__all__ = [
+    "NFProcess",
+    "LibnfAPI",
+    "CallbackNF",
+    "DiskDevice",
+    "AsyncIOContext",
+    "SyncIOContext",
+    "BackpressureController",
+    "BackpressureState",
+    "compute_shares",
+    "MonitorThread",
+    "ECNMarker",
+]

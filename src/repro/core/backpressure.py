@@ -1,0 +1,188 @@
+"""Backpressure: watch list → packet throttle → clear throttle (Figure 4).
+
+Detection and control are separated (§3.5): the Tx threads *detect*
+overload for free from the enqueue return value and put the NF on the
+watch list; the Wakeup thread's scan *decides*, moving an NF to the
+throttle state only if its queue is still above the high watermark **and**
+the head-of-queue wait exceeds the queuing-time threshold — hysteresis
+that forgives short bursts that drain before the scan.
+
+When an NF is throttled, every service chain that passes through it with
+the NF downstream (position >= 1) is throttled **at the system entry
+point** (Figure 5): the Rx thread discards those chains' arrivals before
+any NF spends cycles on them.  Chains for which the congested NF is the
+entry NF simply drop at its ring — no upstream work is wasted there.
+
+Additionally, upstream NFs whose every chain is throttled are evicted via
+the relinquish flag (§4.3.2 "the upstream NF will not execute till the
+downstream NF gets to consume and process its receive buffers");
+NFs shared with un-throttled chains keep running (Figure 8's NF1 must keep
+serving chain 1 while chain 2 is throttled).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.core.nf import NFProcess
+from repro.platform.config import PlatformConfig
+from repro.sched.base import TaskState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.platform.chain import ServiceChain
+
+
+class BackpressureState(enum.Enum):
+    """Per-NF state in Figure 4's diagram."""
+
+    OFF = "off"
+    WATCH = "watch"          # above high watermark, awaiting the time gate
+    THROTTLE = "throttle"    # chains through this NF are being shed at entry
+
+
+class BackpressureController:
+    """Tracks congested NFs and throttles service chains at entry."""
+
+    def __init__(self, config: Optional[PlatformConfig] = None):
+        self.config = config if config is not None else PlatformConfig()
+        self._state: Dict[str, BackpressureState] = {}
+        self._watch: Set[NFProcess] = set()
+        self._throttling: Dict[str, List["ServiceChain"]] = {}
+        # Counters
+        self.throttle_events = 0
+        self.clear_events = 0
+
+    # ------------------------------------------------------------------
+    # Detection path (called by Tx/Rx threads on watermark feedback)
+    # ------------------------------------------------------------------
+    def mark_overloaded(self, nf: NFProcess) -> None:
+        """Enqueue feedback crossed the high watermark: add to watch list."""
+        if self.state_of(nf) is BackpressureState.OFF:
+            self._state[nf.name] = BackpressureState.WATCH
+            self._watch.add(nf)
+
+    def state_of(self, nf: NFProcess) -> BackpressureState:
+        return self._state.get(nf.name, BackpressureState.OFF)
+
+    # ------------------------------------------------------------------
+    # Control path (called by the Wakeup thread scan)
+    # ------------------------------------------------------------------
+    def evaluate(self, now_ns: int) -> None:
+        """Advance the Figure 4 state machine for every watched NF."""
+        if not self._watch:
+            return
+        for nf in list(self._watch):
+            state = self.state_of(nf)
+            ring = nf.rx_ring
+            if state is BackpressureState.WATCH:
+                if ring.below_low:
+                    self._state[nf.name] = BackpressureState.OFF
+                    self._watch.discard(nf)
+                elif (
+                    ring.above_high
+                    and ring.head_wait_ns(now_ns)
+                    > self.config.queuing_time_threshold_ns
+                ):
+                    self._throttle(nf)
+            elif state is BackpressureState.THROTTLE:
+                if ring.below_low:
+                    self._clear(nf)
+                else:
+                    # A chain may have been released by another NF clearing
+                    # while this one is still congested: re-claim it.
+                    self._reclaim(nf)
+
+    def _throttle(self, nf: NFProcess) -> None:
+        """Enter packet-throttle: shed this NF's downstream chains at entry."""
+        self._state[nf.name] = BackpressureState.THROTTLE
+        affected: List["ServiceChain"] = []
+        selective = self.config.selective_chain_throttle
+        for chain, position in nf.chain_positions.values():
+            if position == 0:
+                continue  # entry NF: drops at its own ring waste nothing
+            if not chain.throttled:
+                chain.throttled = True
+                chain.throttle_cause = nf
+                affected.append(chain)
+        if not selective:
+            # Chain-agnostic ablation: collateral throttling of every chain
+            # sharing an NF with a congested chain — the coarse behaviour
+            # Figure 5's per-chain selectivity ("packets for service chain
+            # B are not affected at all") exists to avoid.
+            for chain in list(affected):
+                for member in chain.nfs:
+                    for sibling in member.chains:
+                        if not sibling.throttled:
+                            sibling.throttled = True
+                            sibling.throttle_cause = nf
+                            affected.append(sibling)
+        self._throttling[nf.name] = affected
+        self.throttle_events += 1
+        if self.config.enable_relinquish:
+            for chain in affected:
+                # Collateral (chain-agnostic) chains may not contain nf;
+                # relinquish only applies upstream of the congested NF.
+                if chain.name not in nf.chain_positions:
+                    continue
+                for upstream in chain.upstream_of(nf):
+                    self._update_relinquish(upstream)
+
+    def _reclaim(self, nf: NFProcess) -> None:
+        """Re-throttle downstream chains released by another NF's clear."""
+        mine = self._throttling.setdefault(nf.name, [])
+        for chain, position in nf.chain_positions.values():
+            if position == 0 or chain.throttled:
+                continue
+            chain.throttled = True
+            chain.throttle_cause = nf
+            mine.append(chain)
+            if self.config.enable_relinquish:
+                for upstream in chain.upstream_of(nf):
+                    self._update_relinquish(upstream)
+
+    def _clear(self, nf: NFProcess) -> None:
+        """Queue drained below the low watermark: lift the throttle."""
+        self._state[nf.name] = BackpressureState.OFF
+        self._watch.discard(nf)
+        affected = self._throttling.pop(nf.name, [])
+        for chain in affected:
+            if chain.throttle_cause is nf:
+                chain.throttled = False
+                chain.throttle_cause = None
+        self.clear_events += 1
+        for chain in affected:
+            if chain.name not in nf.chain_positions:
+                continue
+            for upstream in chain.upstream_of(nf):
+                self._update_relinquish(upstream)
+
+    # ------------------------------------------------------------------
+    # Relinquish-flag management
+    # ------------------------------------------------------------------
+    def _update_relinquish(self, nf: NFProcess) -> None:
+        """Set the relinquish flag iff *all* of the NF's chains are throttled.
+
+        A flagged NF is evicted from the CPU (voluntary switch) and not
+        woken until the flag clears.
+        """
+        should = bool(nf.chains) and all(c.throttled for c in nf.chains)
+        if should == nf.relinquish:
+            return
+        nf.relinquish = should
+        core = nf.core
+        if core is None:
+            return
+        if should:
+            if core.current is nf:
+                core.interrupt_current(voluntary=True)
+            elif nf.state is TaskState.READY:
+                core.block_ready(nf)
+        # Un-flagged NFs are picked up by the Wakeup thread's next scan.
+
+    def throttled_chains(self) -> List["ServiceChain"]:
+        """All chains currently being shed at entry (for reporting)."""
+        out: List["ServiceChain"] = []
+        for chains in self._throttling.values():
+            out.extend(c for c in chains if c.throttled)
+        return out

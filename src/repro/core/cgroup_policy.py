@@ -1,0 +1,50 @@
+"""Rate-cost proportional CPU share computation (paper §3.2).
+
+For each NF *i* on a shared core *m*::
+
+    load(i)      = lambda_i * s_i          (arrival rate x service time)
+    TotalLoad(m) = sum over the core's NFs of load(i)
+    Shares_i     = Priority_i * load(i) / TotalLoad(m)
+
+"This provides an allocation of CPU weights that provides rate
+proportional fairness to each NF.  The Priority_i parameter can be tuned
+if desired to provide differential service."
+
+The share fractions are scaled onto the cgroup cpu.shares range so that
+the *average* NF keeps the nice-0 weight of 1024 — absolute scale is
+irrelevant to CFS, only ratios matter, but staying near 1024 keeps the
+values readable and inside kernel bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: cpu.shares assigned to the average NF on a core.
+BASE_SHARES = 1024
+
+
+def compute_shares(
+    loads: Sequence[Tuple[str, float, float]],
+) -> Dict[str, int]:
+    """Map ``(name, load, priority)`` triples to cpu.shares values.
+
+    ``load`` is ``lambda_i * s_i`` (dimensionless utilisation demand).
+    NFs with zero measured load receive the minimum share rather than
+    zero — the paper's fairness goal guarantees "all competing NFs get a
+    minimal CPU share necessary to progress" (§2.1).
+    """
+    if not loads:
+        return {}
+    weighted = [(name, max(0.0, load) * max(0.0, prio))
+                for name, load, prio in loads]
+    total = sum(w for _name, w in weighted)
+    n = len(weighted)
+    if total <= 0.0:
+        return {name: BASE_SHARES for name, _w in weighted}
+    scale = BASE_SHARES * n
+    shares: Dict[str, int] = {}
+    for name, w in weighted:
+        value = int(round(scale * w / total))
+        shares[name] = max(value, 1)
+    return shares

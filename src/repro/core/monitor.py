@@ -1,0 +1,106 @@
+"""The Monitor thread (paper §3.5 "Separating load estimation and CPU
+allocation").
+
+Every millisecond it computes each NF's load — packet arrival rate (EWMA
+over the 1 ms deltas of the Rx ring's offered-arrivals counter) times the
+estimated per-packet service time (the 100 ms windowed median sampled by
+libnf).  Every 10 ms it converts per-core loads into cgroup cpu.shares via
+the rate-cost proportional formula and writes them through the cgroup
+filesystem (a 5 µs sysfs write, so it must stay off the data path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.cgroup_policy import compute_shares
+from repro.core.nf import NFProcess
+from repro.metrics.timeseries import TimeSeries
+from repro.platform.config import PlatformConfig
+from repro.sched.cgroups import CgroupController
+from repro.sim.clock import SEC
+from repro.sim.engine import EventLoop
+from repro.sim.process import PeriodicProcess
+
+
+class MonitorThread:
+    """Periodic load estimation and cgroup weight assignment."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        nfs: List[NFProcess],
+        cgroups: CgroupController,
+        config: Optional[PlatformConfig] = None,
+        record_series: bool = False,
+    ):
+        self.loop = loop
+        self.nfs = list(nfs)
+        self.cgroups = cgroups
+        self.config = config if config is not None else PlatformConfig()
+        self._arrival_ewma_pps: Dict[str, float] = {nf.name: 0.0 for nf in self.nfs}
+        self._last_offered: Dict[str, int] = {
+            nf.name: nf.offered_arrivals for nf in self.nfs
+        }
+        self._last_weight_update = 0
+        self.record_series = record_series
+        #: Optional per-NF share history (Figure 15a plots this).
+        self.share_series: Dict[str, TimeSeries] = {
+            nf.name: TimeSeries(nf.name) for nf in self.nfs
+        }
+        self._proc = PeriodicProcess(
+            loop, int(self.config.monitor_period_ns), self.tick, "monitor"
+        )
+
+    def start(self) -> None:
+        self._proc.start()
+
+    def stop(self) -> None:
+        self._proc.stop()
+
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        now = self.loop.now
+        self._update_arrival_rates()
+        if now - self._last_weight_update >= self.config.weight_update_ns:
+            self._last_weight_update = now
+            self._update_weights(now)
+
+    def _update_arrival_rates(self) -> None:
+        alpha = self.config.arrival_ewma_alpha
+        period_s = self.config.monitor_period_ns / SEC
+        for nf in self.nfs:
+            offered = nf.offered_arrivals
+            delta = offered - self._last_offered[nf.name]
+            self._last_offered[nf.name] = offered
+            instant_pps = delta / period_s
+            prev = self._arrival_ewma_pps[nf.name]
+            self._arrival_ewma_pps[nf.name] = (
+                (1.0 - alpha) * prev + alpha * instant_pps
+            )
+
+    def arrival_rate_pps(self, nf: NFProcess) -> float:
+        return self._arrival_ewma_pps[nf.name]
+
+    def load_of(self, nf: NFProcess, now_ns: int) -> float:
+        """load(i) = lambda_i * s_i, a dimensionless CPU demand."""
+        lam = self._arrival_ewma_pps[nf.name]
+        service_s = nf.service_time_ns(now_ns) / SEC
+        return lam * service_s
+
+    def _update_weights(self, now_ns: int) -> None:
+        # Group NFs by the core they share; shares are computed per core m.
+        by_core: Dict[int, List[NFProcess]] = {}
+        for nf in self.nfs:
+            if nf.core is None:
+                continue
+            by_core.setdefault(nf.core.core_id, []).append(nf)
+        for _core_id, group in by_core.items():
+            loads = [
+                (nf.name, self.load_of(nf, now_ns), nf.priority) for nf in group
+            ]
+            shares = compute_shares(loads)
+            for nf in group:
+                value = self.cgroups.set_shares(nf, shares[nf.name])
+                if self.record_series:
+                    self.share_series[nf.name].append(now_ns, value)

@@ -1,0 +1,260 @@
+"""The network-function process model.
+
+An :class:`NFProcess` is a schedulable task (one OS process / container in
+the paper) whose run loop is libnf's (§3.2 "Relinquishing the CPU"):
+
+    process a batch of at most 32 packets → check the shared-memory
+    relinquish flag set by the NF Manager → if set, or if no packets
+    remain, block on the semaphore; otherwise take the next batch.
+
+Per-packet CPU cost comes from a :class:`~repro.nfs.cost_models.CostModel`;
+processed packets go to the NF's Tx ring for the manager to ferry onwards.
+The NF yields voluntarily when its Rx ring is empty, its Tx ring is full
+(local backpressure, §3.3), or its I/O double-buffers are full (§3.4).
+
+The NF also implements libnf's measurement duties: every millisecond it
+samples the per-packet processing time of the current batch into a shared
+sliding-window estimator the Monitor reads (§3.5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.metrics.histogram import CycleHistogram, SlidingWindowEstimator
+from repro.platform.config import PlatformConfig
+from repro.platform.packet import Flow, PacketSegment
+from repro.platform.ring import PacketRing
+from repro.sched.base import CoreTask, ExecOutcome, ExecResult
+from repro.sim.clock import SEC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nfs.cost_models import CostModel
+    from repro.platform.chain import ServiceChain
+
+
+class NFProcess(CoreTask):
+    """A network function running as its own scheduled process."""
+
+    def __init__(
+        self,
+        name: str,
+        cost_model: "CostModel",
+        config: Optional[PlatformConfig] = None,
+        weight: int = 1024,
+        priority: float = 1.0,
+        io=None,
+        io_selector: Optional[Callable[[Flow], bool]] = None,
+        busy_loop: bool = False,
+    ):
+        super().__init__(name, weight)
+        cfg = config if config is not None else PlatformConfig()
+        self.config = cfg
+        if cfg.nf_overhead_cycles > 0 and not busy_loop:
+            from repro.nfs.cost_models import FixedCost, WithOverhead
+
+            if isinstance(cost_model, FixedCost):
+                cost_model = FixedCost(cost_model.cycles + cfg.nf_overhead_cycles)
+            else:
+                cost_model = WithOverhead(cost_model, cfg.nf_overhead_cycles)
+        self.cost_model = cost_model
+        #: NFVnice priority factor in the share formula (§3.2).
+        self.priority = float(priority)
+        self.batch_size = cfg.nf_batch_size
+        self._ns_per_cycle = SEC / cfg.cpu_freq_hz
+        self._cycles_per_ns = cfg.cpu_freq_hz / SEC
+
+        self.rx_ring = PacketRing(
+            cfg.ring_capacity, cfg.high_watermark, cfg.low_watermark,
+            name=f"{name}.rx",
+        )
+        self.tx_ring = PacketRing(
+            cfg.ring_capacity, cfg.high_watermark, cfg.low_watermark,
+            name=f"{name}.tx",
+        )
+
+        #: Chains this NF belongs to, keyed by chain name -> (chain, position).
+        self.chain_positions: Dict[str, Tuple["ServiceChain", int]] = {}
+        #: Relinquish flag in shared memory, set by the NF Manager (§3.2).
+        self.relinquish = False
+        #: A misbehaving NF that never yields (§2.1's malicious-NF scenario).
+        self.busy_loop = busy_loop
+        #: Set by the manager when any upstream chain hop is on the other
+        #: NUMA socket (the per-packet penalty is folded into cost_model).
+        self.numa_remote_input = False
+
+        # I/O (None, SyncIOContext or AsyncIOContext); the selector says
+        # which flows require a disk write per packet.
+        self.io = io
+        self.io_selector = io_selector
+
+        # Measurement state.
+        self.processed_packets = 0
+        self.processed_by_chain: Dict[str, int] = {}
+        self.wasted_processed = 0  # my output later dropped downstream
+        self.latency_hist = CycleHistogram()  # queuing delay at my Rx (ns)
+        self.service_estimator = SlidingWindowEstimator(
+            cfg.service_window_ns, cfg.warmup_discard_samples
+        )
+        self._last_sample_ns = -(10 ** 18)
+        self._cycle_credit = 0.0
+
+    # ------------------------------------------------------------------
+    # Chain membership
+    # ------------------------------------------------------------------
+    def join_chain(self, chain: "ServiceChain", position: int) -> None:
+        self.chain_positions[chain.name] = (chain, position)
+
+    @property
+    def chains(self) -> List["ServiceChain"]:
+        return [c for c, _pos in self.chain_positions.values()]
+
+    def position_in(self, chain: "ServiceChain") -> int:
+        return self.chain_positions[chain.name][1]
+
+    # ------------------------------------------------------------------
+    # Scheduling interface
+    # ------------------------------------------------------------------
+    def estimate_run_ns(self, now_ns: int) -> float:
+        """Time until this NF would voluntarily block (0 = nothing to do)."""
+        if self.busy_loop:
+            return math.inf
+        if self.relinquish:
+            return 0.0
+        if self.io is not None and self.io.blocked:
+            return 0.0
+        n = len(self.rx_ring)
+        if n == 0:
+            return 0.0
+        n = min(n, self.tx_ring.free)
+        if n == 0:
+            return 0.0
+        if self.io is not None and self.io.sync:
+            # A sync write blocks after a single I/O packet; plan only up to
+            # the first packet of an I/O flow.
+            head = self.rx_ring.peek_head()
+            if head is not None and self._needs_io(head.flow):
+                n = 1
+        cycles = self.cost_model.peek_sum(n) - self._cycle_credit
+        if cycles <= 0:
+            cycles = 1.0
+        return cycles * self._ns_per_cycle
+
+    def execute(self, now_ns: int, granted_ns: float) -> ExecResult:
+        """libnf's batch loop for ``granted_ns`` of CPU time."""
+        if self.busy_loop:
+            return ExecResult(granted_ns, ExecOutcome.USED_ALL)
+
+        credit_in = self._cycle_credit
+        cycles_avail = granted_ns * self._cycles_per_ns + credit_in
+        consumed = 0.0
+        outcome = ExecOutcome.USED_ALL
+
+        while True:
+            # Batch boundary: the relinquish flag is checked between batches.
+            if self.relinquish:
+                outcome = ExecOutcome.FLAG_YIELD
+                break
+            if self.io is not None and self.io.blocked:
+                outcome = ExecOutcome.IO_BLOCKED
+                break
+            qlen = len(self.rx_ring)
+            if qlen == 0:
+                outcome = ExecOutcome.RAN_OUT
+                break
+            free = self.tx_ring.free
+            if free == 0:
+                outcome = ExecOutcome.TX_BLOCKED
+                break
+
+            batch = min(self.batch_size, qlen, free)
+            if self.io is not None and self.io.sync:
+                head = self.rx_ring.peek_head()
+                if head is not None and self._needs_io(head.flow):
+                    batch = 1
+            k, cyc = self.cost_model.consume_upto(cycles_avail - consumed, batch)
+            if k == 0:
+                # Out of cycles for even one more packet.
+                outcome = ExecOutcome.USED_ALL
+                break
+            consumed += cyc
+            io_full = self._forward(self.rx_ring.dequeue(k), now_ns)
+            self._maybe_sample(now_ns, cyc, k)
+            if io_full:
+                outcome = ExecOutcome.IO_BLOCKED
+                break
+
+        if outcome is ExecOutcome.USED_ALL:
+            self._cycle_credit = cycles_avail - consumed
+            used_ns = granted_ns
+        else:
+            self._cycle_credit = 0.0
+            used_ns = max(0.0, consumed - credit_in) * self._ns_per_cycle
+            used_ns = min(used_ns, granted_ns)
+        return ExecResult(used_ns, outcome)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _needs_io(self, flow: Flow) -> bool:
+        return self.io_selector is None or self.io_selector(flow)
+
+    def _forward(self, segments: List[PacketSegment], now_ns: int) -> bool:
+        """Emit processed segments to the Tx ring; returns True if the I/O
+        context became full (NF must yield)."""
+        io_full = False
+        for seg in segments:
+            wait = now_ns - seg.enqueue_ns
+            if wait >= 0:
+                self.latency_hist.add(wait)
+            self.processed_packets += seg.count
+            chain = seg.flow.chain
+            if chain is not None:
+                key = chain.name
+                self.processed_by_chain[key] = (
+                    self.processed_by_chain.get(key, 0) + seg.count
+                )
+            if self.io is not None and self._needs_io(seg.flow):
+                ok = self.io.submit(
+                    seg.count, seg.count * seg.flow.pkt_size, now_ns
+                )
+                if not ok:
+                    io_full = True
+            # Space was reserved (batch <= tx free), so this cannot drop.
+            self.tx_ring.enqueue(seg.flow, seg.count, now_ns,
+                                 origin_ns=seg.origin_ns)
+        return io_full
+
+    def _maybe_sample(self, now_ns: int, cycles: float, packets: int) -> None:
+        """libnf's 1 ms rdtsc sampling of per-packet processing time."""
+        if now_ns - self._last_sample_ns < self.config.service_sample_period_ns:
+            return
+        self._last_sample_ns = now_ns
+        per_packet_ns = (cycles / packets) * self._ns_per_cycle
+        self.service_estimator.add(now_ns, per_packet_ns)
+
+    # ------------------------------------------------------------------
+    # Introspection for the Monitor / experiments
+    # ------------------------------------------------------------------
+    @property
+    def offered_arrivals(self) -> int:
+        """Packets offered to this NF's Rx ring (accepted + dropped)."""
+        return self.rx_ring.enqueued_total + self.rx_ring.dropped_total
+
+    def service_time_ns(self, now_ns: int) -> float:
+        """Estimated per-packet service time: windowed median with a
+        fallback to the cost model's long-run mean before warm-up."""
+        if self.config.service_estimator == "mean":
+            est = self.service_estimator.mean(now_ns)
+        else:
+            est = self.service_estimator.median(now_ns)
+        if est is not None:
+            return est
+        return self.cost_model.mean_cycles * self._ns_per_cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NFProcess({self.name!r}, rx={len(self.rx_ring)}, "
+            f"tx={len(self.tx_ring)}, {self.state.value})"
+        )

@@ -1,0 +1,16 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Each module exposes ``run_*`` functions returning structured results and a
+``main()``/``print_*`` helper that renders the same rows the paper
+reports.  The ``benchmarks/`` tree wraps these in pytest-benchmark
+targets; the mapping from paper artifact to module is in DESIGN.md §3.
+"""
+
+from repro.experiments.common import (
+    FEATURE_SETS,
+    Scenario,
+    ScenarioResult,
+    feature_config,
+)
+
+__all__ = ["Scenario", "ScenarioResult", "FEATURE_SETS", "feature_config"]

@@ -1,0 +1,175 @@
+"""Ablation studies of NFVnice's design choices (beyond the paper's own
+figures; motivated by DESIGN.md §5 and the paper's discussion).
+
+1. **Selective per-chain discard** vs chain-agnostic throttling: on the
+   Figure 8 shared-NF topology, chain-agnostic backpressure punishes
+   chain-1 for chain-2's bottleneck.  Selectivity is what preserves the
+   innocent chain's throughput ("packets for service chain B are not
+   affected at all", §3.3).
+2. **Queuing-time hysteresis**: the Figure 4 time gate separates real
+   congestion from short bursts.  Threshold 0 over-throttles; a huge
+   threshold reverts to no backpressure.
+3. **Service-time estimator**: median vs mean over the 100 ms window on
+   the variable-cost workload of §4.3.1.
+4. **Weight-update period**: 1/10/100 ms cgroup write cadence — the 10 ms
+   choice balances responsiveness against sysfs write cost (§3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import Scenario, ScenarioResult, build_linear_chain
+from repro.experiments.fig09_shared_chains import NF_COSTS
+from repro.metrics.report import render_table
+from repro.nfs.cost_models import ChoiceCost
+from repro.sim.clock import MSEC, USEC
+
+CHAIN_COSTS = (120.0, 270.0, 550.0)
+
+
+# ----------------------------------------------------------------------
+# 1. Selective vs chain-agnostic throttling (Figure 8 topology)
+# ----------------------------------------------------------------------
+def run_selectivity(selective: bool, duration_s: float = 1.0,
+                    seed: int = 0) -> ScenarioResult:
+    scenario = Scenario(
+        scheduler="NORMAL", features="NFVnice", seed=seed,
+        num_rx_threads=2, selective_chain_throttle=selective,
+    )
+    for core_id, (name, cost) in enumerate(NF_COSTS.items()):
+        scenario.add_nf(name, cost, core=core_id)
+    scenario.add_chain("chain1", ["nf1", "nf2", "nf4"])
+    scenario.add_chain("chain2", ["nf1", "nf3", "nf4"])
+    scenario.add_flow("flow1", "chain1", line_rate_fraction=0.5)
+    scenario.add_flow("flow2", "chain2", line_rate_fraction=0.5)
+    return scenario.run(duration_s)
+
+
+def format_selectivity(results: Dict[bool, ScenarioResult]) -> str:
+    rows: List[list] = []
+    for selective in (True, False):
+        res = results[selective]
+        rows.append([
+            "per-chain" if selective else "chain-agnostic",
+            round(res.chain("chain1").throughput_pps / 1e6, 3),
+            round(res.chain("chain2").throughput_pps / 1e6, 3),
+        ])
+    return render_table(
+        ["throttle mode", "chain1 Mpps", "chain2 Mpps"], rows,
+        title="Ablation 1: selective vs chain-agnostic backpressure",
+    )
+
+
+# ----------------------------------------------------------------------
+# 2. Queuing-time hysteresis threshold
+# ----------------------------------------------------------------------
+HYSTERESIS_SWEEP_NS = (0, 10 * USEC, 100 * USEC, 1 * MSEC, 10 * MSEC)
+
+
+def run_hysteresis(threshold_ns: int, duration_s: float = 1.0,
+                   seed: int = 0) -> ScenarioResult:
+    scenario = Scenario(
+        scheduler="BATCH", features="NFVnice", seed=seed,
+        queuing_time_threshold_ns=int(threshold_ns),
+    )
+    build_linear_chain(scenario, CHAIN_COSTS, core=0)
+    scenario.add_flow("flow", "chain", line_rate_fraction=1.0)
+    return scenario.run(duration_s)
+
+
+def format_hysteresis(results: Dict[int, ScenarioResult]) -> str:
+    rows: List[list] = []
+    for threshold in sorted(results):
+        res = results[threshold]
+        rows.append([
+            f"{threshold / 1e3:g}us",
+            round(res.total_throughput_pps / 1e6, 3),
+            round(res.total_wasted_pps / 1e3, 1),
+        ])
+    return render_table(
+        ["qtime threshold", "tput Mpps", "wasted Kpps"], rows,
+        title="Ablation 2: backpressure queuing-time gate",
+    )
+
+
+# ----------------------------------------------------------------------
+# 3. Median vs mean service-time estimator (variable-cost NFs)
+# ----------------------------------------------------------------------
+def run_estimator(estimator: str, duration_s: float = 1.0,
+                  seed: int = 0) -> ScenarioResult:
+    scenario = Scenario(
+        scheduler="BATCH", features="CGroup", seed=seed,
+        service_estimator=estimator,
+    )
+    names = []
+    for i in (1, 2, 3):
+        rng = scenario.rng_factory.stream(f"cost-nf{i}")
+        scenario.add_nf(f"nf{i}", ChoiceCost((120.0, 270.0, 550.0), rng=rng),
+                        core=0)
+        names.append(f"nf{i}")
+    scenario.add_chain("chain", names)
+    scenario.add_flow("flow", "chain", line_rate_fraction=1.0)
+    return scenario.run(duration_s)
+
+
+def format_estimator(results: Dict[str, ScenarioResult]) -> str:
+    rows = [
+        [est, round(res.total_throughput_pps / 1e6, 3),
+         round(res.total_wasted_pps / 1e3, 1)]
+        for est, res in results.items()
+    ]
+    return render_table(
+        ["estimator", "tput Mpps", "wasted Kpps"], rows,
+        title="Ablation 3: service-time estimator under variable cost "
+              "(CGroup-only system)",
+    )
+
+
+# ----------------------------------------------------------------------
+# 4. Weight update period
+# ----------------------------------------------------------------------
+WEIGHT_PERIODS_NS = (1 * MSEC, 10 * MSEC, 100 * MSEC)
+
+
+def run_weight_period(period_ns: int, duration_s: float = 1.0,
+                      seed: int = 0) -> ScenarioResult:
+    scenario = Scenario(
+        scheduler="BATCH", features="CGroup", seed=seed,
+        weight_update_ns=int(period_ns),
+    )
+    build_linear_chain(scenario, CHAIN_COSTS, core=0)
+    scenario.add_flow("flow", "chain", line_rate_fraction=1.0)
+    return scenario.run(duration_s)
+
+
+def format_weight_period(results: Dict[int, ScenarioResult]) -> str:
+    rows: List[list] = []
+    for period in sorted(results):
+        res = results[period]
+        rows.append([
+            f"{period / 1e6:g}ms",
+            round(res.total_throughput_pps / 1e6, 3),
+        ])
+    return render_table(
+        ["update period", "tput Mpps"], rows,
+        title="Ablation 4: cgroup weight update period (CGroup-only)",
+    )
+
+
+def main(duration_s: float = 1.0) -> str:
+    parts = [
+        format_selectivity({sel: run_selectivity(sel, duration_s)
+                            for sel in (True, False)}),
+        format_hysteresis({t: run_hysteresis(t, duration_s)
+                           for t in HYSTERESIS_SWEEP_NS}),
+        format_estimator({est: run_estimator(est, duration_s)
+                          for est in ("median", "mean")}),
+        format_weight_period({p: run_weight_period(p, duration_s)
+                              for p in WEIGHT_PERIODS_NS}),
+    ]
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runs
+    print(main())

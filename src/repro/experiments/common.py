@@ -1,0 +1,282 @@
+"""Shared experiment scaffolding.
+
+A :class:`Scenario` assembles a platform (scheduler, NFVnice feature set,
+NFs, chains, flows), runs it with per-second sampling — "we provide the
+average, the minimum and maximum values observed across the samples
+collected every second" (§4.1) — and returns a :class:`ScenarioResult`
+with the measurements every table/figure draws on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.nf import NFProcess
+from repro.metrics.timeseries import IntervalSampler, TimeSeries
+from repro.nfs.cost_models import CostModel, FixedCost
+from repro.platform.chain import ServiceChain
+from repro.platform.config import PlatformConfig
+from repro.platform.manager import NFManager
+from repro.platform.nic import line_rate_pps
+from repro.platform.packet import Flow
+from repro.sim.clock import SEC
+from repro.sim.engine import EventLoop
+from repro.sim.rng import RngFactory
+from repro.traffic.generator import TrafficGenerator
+
+#: The four system variants compared throughout §4.2/§4.3:
+#: (enable_cgroups, enable_backpressure).
+FEATURE_SETS: Dict[str, Tuple[bool, bool]] = {
+    "Default": (False, False),
+    "CGroup": (True, False),
+    "OnlyBKPR": (False, True),
+    "NFVnice": (True, True),
+}
+
+
+def feature_config(features: str, base: Optional[PlatformConfig] = None,
+                   **overrides) -> PlatformConfig:
+    """A :class:`PlatformConfig` for one of the named feature sets."""
+    if features not in FEATURE_SETS:
+        raise ValueError(
+            f"unknown feature set {features!r}; pick one of {sorted(FEATURE_SETS)}"
+        )
+    cgroups, backpressure = FEATURE_SETS[features]
+    cfg = base if base is not None else PlatformConfig()
+    cfg = cfg.with_features(cgroups=cgroups, backpressure=backpressure,
+                            ecn=cfg.enable_ecn)
+    return dataclasses.replace(cfg, **overrides) if overrides else cfg
+
+
+@dataclass
+class NFSummary:
+    """Per-NF measurements (the ``pidstat``/``perf sched`` columns)."""
+
+    name: str
+    core_id: int
+    processed: int
+    processed_pps: float
+    wasted_pps: float             # my processed output dropped downstream
+    rx_drop_pps: float            # arrivals dropped at my own Rx ring
+    runtime_s: float
+    cpu_share: float              # fraction of its core's busy horizon
+    cswch_per_s: float
+    nvcswch_per_s: float
+    avg_sched_delay_ms: float
+    weight: int
+
+
+@dataclass
+class ChainSummary:
+    """Per-chain throughput and loss accounting."""
+
+    name: str
+    completed: int
+    throughput_pps: float
+    throughput_bps: float
+    wasted_drop_pps: float
+    entry_discard_pps: float
+    tput_series: Tuple[float, float, float]  # mean/min/max of 1 s samples
+    latency_p50_us: float                    # end-to-end, NIC to chain exit
+    latency_p99_us: float
+
+
+@dataclass
+class ScenarioResult:
+    """Everything an experiment needs to print its table/figure rows."""
+
+    scheduler: str
+    features: str
+    duration_s: float
+    total_throughput_pps: float
+    total_wasted_pps: float
+    total_entry_discard_pps: float
+    chains: Dict[str, ChainSummary]
+    nfs: Dict[str, NFSummary]
+    core_utilization: Dict[int, float]
+    series: Dict[str, TimeSeries] = field(default_factory=dict)
+
+    def nf(self, name: str) -> NFSummary:
+        return self.nfs[name]
+
+    def chain(self, name: str) -> ChainSummary:
+        return self.chains[name]
+
+
+class Scenario:
+    """Builder + runner for one platform configuration."""
+
+    def __init__(
+        self,
+        scheduler: str = "BATCH",
+        features: str = "NFVnice",
+        config: Optional[PlatformConfig] = None,
+        seed: int = 0,
+        **config_overrides,
+    ):
+        self.scheduler = scheduler
+        self.features = features
+        self.loop = EventLoop()
+        self.rng_factory = RngFactory(seed)
+        self.config = feature_config(features, config, **config_overrides)
+        self.manager = NFManager(self.loop, scheduler=scheduler, config=self.config)
+        self.generator = TrafficGenerator(
+            self.loop, self.manager.nic,
+            rng=self.rng_factory.stream("traffic"),
+        )
+        self._nf_cores: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_nf(
+        self,
+        name: str,
+        cost: Union[float, int, CostModel],
+        core: int = 0,
+        **kwargs,
+    ) -> NFProcess:
+        model = FixedCost(float(cost)) if isinstance(cost, (int, float)) else cost
+        nf = NFProcess(name, model, config=self.config, **kwargs)
+        self.manager.add_nf(nf, core_id=core)
+        self._nf_cores[name] = core
+        return nf
+
+    def add_chain(self, name: str, nf_names: Sequence[str]) -> ServiceChain:
+        nfs = [self.manager.nf_by_name(n) for n in nf_names]
+        return self.manager.add_chain(name, nfs)
+
+    def add_flow(
+        self,
+        flow_id: str,
+        chain_name: str,
+        rate_pps: Optional[float] = None,
+        line_rate_fraction: Optional[float] = None,
+        pkt_size: int = 64,
+        protocol: str = "udp",
+        **spec_kwargs,
+    ) -> Flow:
+        """Create a flow, steer it into a chain, and register its load.
+
+        Give either an absolute ``rate_pps`` or a ``line_rate_fraction`` of
+        the NIC's 64-byte-equivalent line rate for this packet size.
+        """
+        flow = Flow(flow_id, pkt_size=pkt_size, protocol=protocol)
+        chain = self.manager.chains[chain_name]
+        self.manager.install_flow(flow, chain)
+        if rate_pps is None:
+            if line_rate_fraction is None:
+                raise ValueError("need rate_pps or line_rate_fraction")
+            rate_pps = line_rate_fraction * line_rate_pps(
+                pkt_size, self.manager.nic.link_bps
+            )
+        self.generator.add_flow(flow, rate_pps, **spec_kwargs)
+        return flow
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, duration_s: float = 2.0,
+            extra_probes: Optional[Dict[str, Tuple]] = None) -> ScenarioResult:
+        """Run for ``duration_s`` simulated seconds and summarise."""
+        mgr = self.manager
+        sampler = IntervalSampler(self.loop, SEC)
+        for chain in mgr.chains.values():
+            sampler.add_probe(
+                f"tput:{chain.name}",
+                (lambda c: (lambda: c.completed))(chain),
+            )
+        if extra_probes:
+            for name, (fn, rate) in extra_probes.items():
+                sampler.add_probe(name, fn, rate=rate)
+        mgr.start()
+        self.generator.start()
+        sampler.start()
+        horizon = int(duration_s * SEC)
+        self.loop.run_until(self.loop.now + horizon)
+        mgr.finalize()
+        return self._summarise(duration_s, sampler)
+
+    def _summarise(self, duration_s: float,
+                   sampler: IntervalSampler) -> ScenarioResult:
+        mgr = self.manager
+        chains: Dict[str, ChainSummary] = {}
+        for chain in mgr.chains.values():
+            series = sampler[f"tput:{chain.name}"]
+            chains[chain.name] = ChainSummary(
+                name=chain.name,
+                completed=chain.completed,
+                throughput_pps=chain.completed / duration_s,
+                throughput_bps=chain.completed_bytes * 8 / duration_s,
+                wasted_drop_pps=chain.wasted_drops / duration_s,
+                entry_discard_pps=chain.entry_discards / duration_s,
+                tput_series=series.summary(),
+                latency_p50_us=chain.latency_hist.median() / 1e3,
+                latency_p99_us=chain.latency_hist.percentile(99) / 1e3,
+            )
+
+        horizon_ns = duration_s * SEC
+        nfs: Dict[str, NFSummary] = {}
+        for nf in mgr.nfs:
+            core = nf.core
+            assert core is not None
+            busy = core.stats.busy_ns + core.stats.overhead_ns
+            nfs[nf.name] = NFSummary(
+                name=nf.name,
+                core_id=core.core_id,
+                processed=nf.processed_packets,
+                processed_pps=nf.processed_packets / duration_s,
+                wasted_pps=nf.wasted_processed / duration_s,
+                rx_drop_pps=nf.rx_ring.dropped_total / duration_s,
+                runtime_s=nf.stats.runtime_ns / SEC,
+                cpu_share=(nf.stats.runtime_ns / busy) if busy > 0 else 0.0,
+                cswch_per_s=nf.stats.voluntary_switches / duration_s,
+                nvcswch_per_s=nf.stats.involuntary_switches / duration_s,
+                avg_sched_delay_ms=nf.stats.avg_sched_delay_ns / 1e6,
+                weight=nf.weight,
+            )
+
+        utilization = {
+            core_id: core.stats.utilization(horizon_ns)
+            for core_id, core in mgr.cores.items()
+        }
+        return ScenarioResult(
+            scheduler=self.scheduler,
+            features=self.features,
+            duration_s=duration_s,
+            total_throughput_pps=mgr.total_completed / duration_s,
+            total_wasted_pps=mgr.total_wasted_drops / duration_s,
+            total_entry_discard_pps=mgr.total_entry_discards / duration_s,
+            chains=chains,
+            nfs=nfs,
+            core_utilization=utilization,
+            series=dict(sampler.series),
+        )
+
+
+def build_linear_chain(
+    scenario: Scenario,
+    costs: Sequence[float],
+    core: Union[int, Sequence[int]] = 0,
+    chain_name: str = "chain",
+    nf_prefix: str = "nf",
+) -> ServiceChain:
+    """Convenience: NFs ``nf1..nfN`` with the given costs in one chain.
+
+    ``core`` may be a single core id (all NFs share it) or one id per NF
+    (the multi-core pinning of §4.2.2).
+    """
+    if isinstance(core, int):
+        cores = [core] * len(costs)
+    else:
+        cores = list(core)
+        if len(cores) != len(costs):
+            raise ValueError("one core id per NF required")
+    names = []
+    for i, (cost, core_id) in enumerate(zip(costs, cores), start=1):
+        name = f"{nf_prefix}{i}"
+        scenario.add_nf(name, cost, core=core_id)
+        names.append(name)
+    return scenario.add_chain(chain_name, names)

@@ -1,0 +1,120 @@
+"""Cooperative (L-thread-style) scheduling vs kernel scheduling (§5).
+
+Demonstrates the two drawbacks the paper cites when arguing against
+cooperative user-space frameworks, plus the mitigation it proposes:
+
+1. **No protection from misbehaving NFs.** A chain of well-behaved NFs
+   plus one busy-looping NF: under COOP the spinner takes the core
+   forever and the chain starves; CFS contains it to a fair share.
+2. **No selective prioritisation.** Two NFs with a 1:4 cost ratio under
+   overload: COOP cannot express weights (the Monitor's cgroup writes are
+   ignored), so the flows' output rates stay unequal; NFVnice on CFS
+   equalises them.
+3. **Backpressure still composes.** "Nonetheless, NFVnice's backpressure
+   mechanism can still be effectively employed for such cooperating
+   threads" — with backpressure on, the cooperative chain avoids wasted
+   work exactly as the kernel-scheduled one does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.common import Scenario, ScenarioResult, build_linear_chain
+from repro.metrics.report import render_table
+
+
+def run_misbehaving(scheduler: str, duration_s: float = 1.0,
+                    seed: int = 0) -> ScenarioResult:
+    """A 2-NF chain sharing a core with a busy-looping third NF."""
+    scenario = Scenario(scheduler=scheduler, features="NFVnice", seed=seed)
+    build_linear_chain(scenario, (270, 550), core=0)
+    scenario.add_nf("spinner", 1000, core=0, busy_loop=True)
+    scenario.add_chain("spin-chain", ["spinner"])
+    scenario.add_flow("flow", "chain", line_rate_fraction=1.0)
+    scenario.add_flow("spin-flow", "spin-chain", rate_pps=1000.0)
+    return scenario.run(duration_s)
+
+
+def run_prioritisation(scheduler: str, duration_s: float = 1.0,
+                       seed: int = 0) -> ScenarioResult:
+    """Two parallel NFs with a 1:4 cost ratio under equal overload."""
+    scenario = Scenario(scheduler=scheduler, features="NFVnice", seed=seed,
+                        num_rx_threads=2)
+    scenario.add_nf("light", 400, core=0)
+    scenario.add_nf("heavy", 1600, core=0)
+    scenario.add_chain("light", ["light"])
+    scenario.add_chain("heavy", ["heavy"])
+    scenario.add_flow("flow-l", "light", rate_pps=4.0e6)
+    scenario.add_flow("flow-h", "heavy", rate_pps=4.0e6)
+    return scenario.run(duration_s)
+
+
+def run_backpressure_compose(scheduler: str, features: str,
+                             duration_s: float = 1.0,
+                             seed: int = 0) -> ScenarioResult:
+    """The Figure 7 chain under the cooperative scheduler."""
+    scenario = Scenario(scheduler=scheduler, features=features, seed=seed)
+    build_linear_chain(scenario, (120, 270, 550), core=0)
+    scenario.add_flow("flow", "chain", line_rate_fraction=1.0)
+    return scenario.run(duration_s)
+
+
+def run_comparison(duration_s: float = 1.0) -> Dict[str, Dict]:
+    return {
+        "misbehaving": {s: run_misbehaving(s, duration_s)
+                        for s in ("COOP", "NORMAL")},
+        "prioritisation": {s: run_prioritisation(s, duration_s)
+                           for s in ("COOP", "NORMAL")},
+        "compose": {f: run_backpressure_compose("COOP", f, duration_s)
+                    for f in ("Default", "OnlyBKPR")},
+    }
+
+
+def format_comparison(results: Dict[str, Dict]) -> str:
+    rows: List[list] = []
+    for sched, res in results["misbehaving"].items():
+        rows.append([
+            sched,
+            round(res.chain("chain").throughput_pps / 1e6, 3),
+            round(100 * res.nf("spinner").cpu_share, 1),
+        ])
+    part1 = render_table(
+        ["scheduler", "chain Mpps", "spinner cpu%"], rows,
+        title="L-thread drawback (a): a misbehaving NF on the shared core",
+    )
+
+    rows = []
+    for sched, res in results["prioritisation"].items():
+        rows.append([
+            sched,
+            round(res.chain("light").throughput_pps / 1e6, 3),
+            round(res.chain("heavy").throughput_pps / 1e6, 3),
+            res.nf("heavy").weight,
+        ])
+    part2 = render_table(
+        ["scheduler", "light Mpps", "heavy Mpps", "heavy cpu.shares"], rows,
+        title="L-thread drawback (b): no selective prioritisation "
+              "(NFVnice weights active on both)",
+    )
+
+    rows = []
+    for features, res in results["compose"].items():
+        rows.append([
+            features,
+            round(res.total_throughput_pps / 1e6, 3),
+            round(res.total_wasted_pps / 1e3, 1),
+        ])
+    part3 = render_table(
+        ["system", "tput Mpps", "wasted Kpps"], rows,
+        title="Backpressure still composes with cooperative threads (§5)",
+    )
+    return "\n".join([part1, part2, part3])
+
+
+def main(duration_s: float = 1.0) -> str:
+    return format_comparison(run_comparison(duration_s))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runs
+    print(main())

@@ -1,0 +1,86 @@
+"""ECN extension (§3.3 "Local Optimization and ECN").
+
+NFVnice marks ECN on TCP flows when the EWMA of a queue's length crosses
+the marking threshold, so congestion at an NFV hop is signalled end to
+end instead of manifesting as tail drops.  The experiment steers one TCP
+flow through a chain whose last NF is the bottleneck and compares:
+
+* drops-only (no ECN): TCP fills the ring, loses packet bursts, and
+  oscillates through deep multiplicative decreases;
+* ECN marking: the sender backs off on marks before the ring overflows —
+  near-zero loss at comparable goodput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.common import Scenario
+from repro.metrics.report import render_table
+from repro.sim.clock import MSEC
+from repro.traffic.tcp import TCPFlow
+
+
+@dataclass
+class ECNResult:
+    ecn: bool
+    goodput_gbps: float
+    lost_packets: int
+    marked_packets: int
+    decreases: int
+
+
+def run_case(ecn: bool, duration_s: float = 5.0, seed: int = 0) -> ECNResult:
+    scenario = Scenario(
+        scheduler="NORMAL",
+        # Backpressure off: ECN is the only congestion signal under test.
+        features="Default",
+        seed=seed,
+        enable_ecn=ecn,
+    )
+    scenario.add_nf("nf1", 300, core=0)
+    scenario.add_nf("nf2", 8000, core=1)   # bottleneck hop
+    scenario.add_chain("chain", ["nf1", "nf2"])
+    flow = scenario.add_flow("tcp", "chain", rate_pps=1.0, pkt_size=1500,
+                             protocol="tcp")
+    tcp = TCPFlow(scenario.loop, scenario.generator.specs[-1],
+                  rtt_ns=1 * MSEC, max_cwnd=2000.0)
+    tcp.start()
+    scenario.run(duration_s)
+    return ECNResult(
+        ecn=ecn,
+        goodput_gbps=flow.stats.delivered * 1500 * 8 / duration_s / 1e9,
+        lost_packets=flow.stats.lost,
+        marked_packets=flow.stats.ecn_marks,
+        decreases=tcp.decreases,
+    )
+
+
+def run_ecn(duration_s: float = 5.0) -> Dict[bool, ECNResult]:
+    return {ecn: run_case(ecn, duration_s) for ecn in (False, True)}
+
+
+def format_ecn(results: Dict[bool, ECNResult]) -> str:
+    rows: List[list] = []
+    for ecn in (False, True):
+        res = results[ecn]
+        rows.append([
+            "ECN" if ecn else "drops-only",
+            round(res.goodput_gbps, 3),
+            res.lost_packets,
+            res.marked_packets,
+            res.decreases,
+        ])
+    return render_table(
+        ["signal", "goodput Gbps", "lost pkts", "CE marks", "cwnd cuts"],
+        rows, title="ECN extension: congestion signalling for a TCP flow",
+    )
+
+
+def main(duration_s: float = 5.0) -> str:
+    return format_ecn(run_ecn(duration_s))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runs
+    print(main())

@@ -1,0 +1,152 @@
+"""Service-time histograms and windowed estimators.
+
+NFVnice measures per-packet processing time inside each NF with ``rdtsc``
+samples kept in a shared-memory histogram, and the Monitor estimates service
+time as *the median over a 100 ms moving window* (paper §3.5).  Two tools
+reproduce that:
+
+* :class:`CycleHistogram` — log-bucketed histogram with percentile queries,
+  matching "a histogram of timings, allowing NFVnice to efficiently estimate
+  the service time at different percentiles" (§3.2).
+* :class:`SlidingWindowEstimator` — timestamped samples with median/mean over
+  a moving window, matching the Monitor's estimator.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+
+class CycleHistogram:
+    """Logarithmic-bucket histogram for cycle counts.
+
+    Buckets are powers of ``2**(1/bins_per_octave)`` so relative resolution
+    is constant across the 50-to-10000-cycle span the paper's NFs cover.
+    """
+
+    def __init__(self, bins_per_octave: int = 4, max_value: float = 1e9):
+        if bins_per_octave < 1:
+            raise ValueError("bins_per_octave must be >= 1")
+        self.bins_per_octave = bins_per_octave
+        self._scale = bins_per_octave / math.log(2.0)
+        n_bins = int(math.log(max_value) * self._scale) + 2
+        self._counts: List[int] = [0] * n_bins
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def _bucket(self, value: float) -> int:
+        if value < 1.0:
+            return 0
+        idx = int(math.log(value) * self._scale) + 1
+        return min(idx, len(self._counts) - 1)
+
+    def add(self, value: float, weight: int = 1) -> None:
+        """Record a sample (``weight`` > 1 records it for that many packets)."""
+        if value < 0:
+            raise ValueError(f"negative sample: {value!r}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight!r}")
+        self._counts[self._bucket(value)] += weight
+        self.count += weight
+        self.total += value * weight
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate the p-th percentile (0..100) from bucket boundaries.
+
+        Returns the geometric midpoint of the bucket containing the rank,
+        which is within one bucket-width of the true value.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p!r}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        seen = 0
+        for idx, c in enumerate(self._counts):
+            seen += c
+            if seen >= rank:
+                if idx == 0:
+                    return 0.5
+                lo = math.exp((idx - 1) / self._scale)
+                hi = math.exp(idx / self._scale)
+                return math.sqrt(lo * hi)
+        return self.max or 0.0
+
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def reset(self) -> None:
+        for i in range(len(self._counts)):
+            self._counts[i] = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+
+class SlidingWindowEstimator:
+    """Timestamped samples with statistics over a trailing time window.
+
+    Mirrors the Monitor thread's estimator: libnf samples the per-packet
+    processing time every millisecond; the Monitor takes the **median over a
+    100 ms moving window** as the NF's estimated service time (§3.5), which
+    is robust to samples inflated by context switches or I/O.
+    """
+
+    def __init__(self, window_ns: int = 100_000_000, warmup_discard: int = 0):
+        if window_ns <= 0:
+            raise ValueError("window must be positive")
+        self.window_ns = int(window_ns)
+        #: Samples discarded before the estimator starts listening; the paper
+        #: drops the first 10 to warm the cache and skip outliers (§4.3.8).
+        self.warmup_discard = warmup_discard
+        self._discarded = 0
+        self._samples: Deque[Tuple[int, float]] = deque()
+
+    def add(self, now_ns: int, value: float) -> None:
+        """Record a sample taken at simulated time ``now_ns``."""
+        if self._discarded < self.warmup_discard:
+            self._discarded += 1
+            return
+        self._samples.append((int(now_ns), float(value)))
+        self._evict(int(now_ns))
+
+    def _evict(self, now_ns: int) -> None:
+        horizon = now_ns - self.window_ns
+        samples = self._samples
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+
+    def median(self, now_ns: int) -> Optional[float]:
+        """Median of samples within the window, or None if empty."""
+        self._evict(int(now_ns))
+        if not self._samples:
+            return None
+        values = sorted(v for _, v in self._samples)
+        n = len(values)
+        mid = n // 2
+        if n % 2:
+            return values[mid]
+        return 0.5 * (values[mid - 1] + values[mid])
+
+    def mean(self, now_ns: int) -> Optional[float]:
+        """Mean of samples within the window, or None if empty."""
+        self._evict(int(now_ns))
+        if not self._samples:
+            return None
+        return sum(v for _, v in self._samples) / len(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)

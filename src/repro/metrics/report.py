@@ -1,0 +1,61 @@
+"""Plain-text table rendering for benchmark output.
+
+Every bench prints the same rows/series its paper artifact reports; these
+helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_value(value, precision: int = 3) -> str:
+    """Human formatting: floats trimmed, large counts with SI suffixes."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e9:
+            return f"{value / 1e9:.{precision}g}G"
+        if magnitude >= 1e6:
+            return f"{value / 1e6:.{precision}g}M"
+        if magnitude >= 1e3:
+            return f"{value / 1e3:.{precision}g}K"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render an aligned monospace table with an optional title banner."""
+    str_rows: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append("")
+        lines.append(f"=== {title} ===")
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Network-function building blocks.
+
+* :mod:`~repro.nfs.cost_models` — per-packet CPU cost models (fixed and
+  stochastic), with the buffered-draw property the core's run planner
+  relies on.
+* :mod:`~repro.nfs.catalog` — ready-made NFs matching the classes the
+  paper measures: forwarders at hundreds of cycles, DPI/encryption at
+  thousands, plus logging NFs that exercise the I/O path and a
+  misbehaving NF that never yields.
+"""
+
+from repro.nfs.cost_models import (
+    ChoiceCost,
+    CostModel,
+    ExponentialCost,
+    FixedCost,
+    NormalCost,
+    UniformCost,
+)
+from repro.nfs.catalog import (
+    make_bridge,
+    make_dpi,
+    make_encryptor,
+    make_firewall,
+    make_logger,
+    make_misbehaving,
+    make_monitor,
+    make_nf,
+)
+
+__all__ = [
+    "CostModel",
+    "FixedCost",
+    "ChoiceCost",
+    "NormalCost",
+    "UniformCost",
+    "ExponentialCost",
+    "make_nf",
+    "make_bridge",
+    "make_monitor",
+    "make_firewall",
+    "make_dpi",
+    "make_encryptor",
+    "make_logger",
+    "make_misbehaving",
+]

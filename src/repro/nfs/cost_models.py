@@ -1,0 +1,247 @@
+"""Per-packet CPU cost models.
+
+The paper's NFs span 50-10 000 cycles per packet, and §4.3.1 stresses NFs
+whose *per-packet* cost varies (120/270/550 cycles drawn per packet).
+
+Cost models expose a **buffered draw** discipline: ``peek_sum(n)`` reveals
+the cost of the next ``n`` packets without consuming them, and
+``consume_upto(budget, max_packets)`` consumes whole-packet costs in the
+same order.  The core's run planner needs estimates that are exact for the
+packets it later executes — pre-drawing into a buffer guarantees the cycles
+foreseen equal the cycles charged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Draws fetched from the RNG at a time.
+_REFILL = 1024
+#: Compact the consumed prefix when it exceeds this many entries.
+_COMPACT = 65536
+
+
+class CostModel:
+    """Interface: cycles charged per packet, in packet order."""
+
+    #: Long-run mean cycles per packet (used for reporting, not planning).
+    mean_cycles: float = 0.0
+
+    def peek_sum(self, n: int) -> float:
+        """Total cycles of the next ``n`` packets (no consumption)."""
+        raise NotImplementedError
+
+    def consume_upto(self, budget_cycles: float, max_packets: int) -> Tuple[int, float]:
+        """Consume whole packets while their cumulative cost fits the budget.
+
+        Returns ``(packets, cycles_used)`` with ``packets <= max_packets``.
+        """
+        raise NotImplementedError
+
+    def consume(self, n: int) -> float:
+        """Unconditionally consume ``n`` packets; returns cycles used."""
+        raise NotImplementedError
+
+
+class FixedCost(CostModel):
+    """Every packet costs exactly ``cycles`` — the common case, O(1)."""
+
+    def __init__(self, cycles: float):
+        if cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {cycles!r}")
+        self.cycles = float(cycles)
+        self.mean_cycles = self.cycles
+
+    def peek_sum(self, n: int) -> float:
+        return n * self.cycles
+
+    def consume_upto(self, budget_cycles: float, max_packets: int) -> Tuple[int, float]:
+        if max_packets <= 0 or budget_cycles < self.cycles:
+            return 0, 0.0
+        k = min(max_packets, int(budget_cycles // self.cycles))
+        return k, k * self.cycles
+
+    def consume(self, n: int) -> float:
+        return n * self.cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FixedCost({self.cycles:g})"
+
+
+class BufferedCost(CostModel):
+    """Base for stochastic models: pre-draws costs into a prefix-sum buffer."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._cum = np.zeros(1)  # _cum[i] = total cost of first i buffered pkts
+        self._pos = 0            # packets already consumed from the buffer
+
+    def _draw(self, n: int) -> np.ndarray:
+        """Produce ``n`` per-packet costs (subclass responsibility)."""
+        raise NotImplementedError
+
+    def _ensure(self, n: int) -> None:
+        """Grow the buffer until ``n`` un-consumed draws are available."""
+        have = len(self._cum) - 1 - self._pos
+        if have >= n:
+            return
+        need = max(n - have, _REFILL)
+        fresh = self._draw(need)
+        fresh = np.maximum(fresh, 1.0)  # a packet always costs >= 1 cycle
+        ext = self._cum[-1] + np.cumsum(fresh)
+        self._cum = np.concatenate([self._cum, ext])
+        if self._pos > _COMPACT:
+            base = self._cum[self._pos]
+            self._cum = self._cum[self._pos:] - base
+            self._pos = 0
+
+    def peek_sum(self, n: int) -> float:
+        if n <= 0:
+            return 0.0
+        self._ensure(n)
+        return float(self._cum[self._pos + n] - self._cum[self._pos])
+
+    def consume_upto(self, budget_cycles: float, max_packets: int) -> Tuple[int, float]:
+        if max_packets <= 0 or budget_cycles <= 0:
+            return 0, 0.0
+        self._ensure(max_packets)
+        base = self._cum[self._pos]
+        # Largest k <= max_packets with cum[pos+k]-base <= budget.
+        hi = self._pos + max_packets
+        k = int(
+            np.searchsorted(self._cum[self._pos + 1: hi + 1], base + budget_cycles,
+                            side="right")
+        )
+        if k == 0:
+            return 0, 0.0
+        used = float(self._cum[self._pos + k] - base)
+        self._pos += k
+        return k, used
+
+    def consume(self, n: int) -> float:
+        if n <= 0:
+            return 0.0
+        self._ensure(n)
+        used = float(self._cum[self._pos + n] - self._cum[self._pos])
+        self._pos += n
+        return used
+
+
+class ChoiceCost(BufferedCost):
+    """Each packet's cost drawn from a discrete set (§4.3.1: 120/270/550)."""
+
+    def __init__(self, values, probabilities=None,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(rng)
+        self.values = np.asarray(values, dtype=float)
+        if np.any(self.values <= 0):
+            raise ValueError("all cost values must be positive")
+        if probabilities is None:
+            self.probabilities = np.full(len(self.values), 1.0 / len(self.values))
+        else:
+            self.probabilities = np.asarray(probabilities, dtype=float)
+            if len(self.probabilities) != len(self.values):
+                raise ValueError("probabilities must match values")
+            total = self.probabilities.sum()
+            if not np.isclose(total, 1.0):
+                raise ValueError(f"probabilities must sum to 1, got {total}")
+        self.mean_cycles = float(np.dot(self.values, self.probabilities))
+
+    def _draw(self, n: int) -> np.ndarray:
+        return self._rng.choice(self.values, size=n, p=self.probabilities)
+
+
+class NormalCost(BufferedCost):
+    """Gaussian per-packet cost, truncated at 1 cycle."""
+
+    def __init__(self, mean: float, std: float,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(rng)
+        if mean <= 0 or std < 0:
+            raise ValueError("mean must be positive and std non-negative")
+        self.mean = float(mean)
+        self.std = float(std)
+        self.mean_cycles = self.mean
+
+    def _draw(self, n: int) -> np.ndarray:
+        return self._rng.normal(self.mean, self.std, size=n)
+
+
+class UniformCost(BufferedCost):
+    """Uniform per-packet cost in [low, high]."""
+
+    def __init__(self, low: float, high: float,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(rng)
+        if not 0 < low <= high:
+            raise ValueError("need 0 < low <= high")
+        self.low = float(low)
+        self.high = float(high)
+        self.mean_cycles = 0.5 * (self.low + self.high)
+
+    def _draw(self, n: int) -> np.ndarray:
+        return self._rng.uniform(self.low, self.high, size=n)
+
+
+class ExponentialCost(BufferedCost):
+    """Heavy-tailed cost — e.g. an NF where some packets trigger an
+    expensive DNS lookup while most are a cheap header match (§1)."""
+
+    def __init__(self, mean: float, rng: Optional[np.random.Generator] = None):
+        super().__init__(rng)
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        self.mean = float(mean)
+        self.mean_cycles = self.mean
+
+    def _draw(self, n: int) -> np.ndarray:
+        return self._rng.exponential(self.mean, size=n)
+
+
+class WithOverhead(CostModel):
+    """Adds a fixed per-packet framework overhead to an inner model.
+
+    Real OpenNetVM NFs pay ring dequeue/enqueue, descriptor handling and
+    libnf bookkeeping on top of the NF's own packet-handler cost; the
+    platform wraps each NF's cost model with this when
+    ``PlatformConfig.nf_overhead_cycles`` is non-zero.
+    """
+
+    def __init__(self, inner: CostModel, overhead_cycles: float):
+        if overhead_cycles < 0:
+            raise ValueError("overhead must be non-negative")
+        self.inner = inner
+        self.overhead = float(overhead_cycles)
+        self.mean_cycles = inner.mean_cycles + self.overhead
+
+    def peek_sum(self, n: int) -> float:
+        if n <= 0:
+            return 0.0
+        return self.inner.peek_sum(n) + n * self.overhead
+
+    def consume_upto(self, budget_cycles: float, max_packets: int) -> Tuple[int, float]:
+        if max_packets <= 0 or budget_cycles <= 0:
+            return 0, 0.0
+        # Largest k with inner.peek_sum(k) + k*overhead <= budget: binary
+        # search on the monotone total (peek_sum is O(1) once buffered).
+        lo, hi = 0, max_packets
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.peek_sum(mid) <= budget_cycles:
+                lo = mid
+            else:
+                hi = mid - 1
+        if lo == 0:
+            return 0, 0.0
+        used = self.inner.consume(lo) + lo * self.overhead
+        return lo, used
+
+    def consume(self, n: int) -> float:
+        if n <= 0:
+            return 0.0
+        return self.inner.consume(n) + n * self.overhead
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WithOverhead({self.inner!r}, +{self.overhead:g})"

@@ -1,0 +1,54 @@
+"""The manager's Flow Table.
+
+"The Rx thread does a lookup in the Flow Table to direct the packet to the
+appropriate NF" (§3.1).  Flows are installed by the Flow Rule Installer
+(configuration files or an SDN controller in the paper; experiment setup
+code here) and map to the service chain whose first NF receives the flow's
+packets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.platform.chain import ServiceChain
+from repro.platform.packet import Flow
+
+
+class FlowTable:
+    """flow_id → :class:`ServiceChain` mapping."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, ServiceChain] = {}
+        self.lookups = 0
+        self.misses = 0
+
+    def install(self, flow: Flow, chain: ServiceChain) -> None:
+        """Install (or replace) the rule steering ``flow`` into ``chain``.
+
+        Also back-references the chain on the flow so queue accounting can
+        classify segments by chain without a table lookup.
+        """
+        self._rules[flow.flow_id] = chain
+        flow.chain = chain
+
+    def remove(self, flow: Flow) -> None:
+        self._rules.pop(flow.flow_id, None)
+        flow.chain = None
+
+    def lookup(self, flow: Flow) -> Optional[ServiceChain]:
+        """Chain for ``flow``, or None (miss — the packet is dropped)."""
+        self.lookups += 1
+        chain = self._rules.get(flow.flow_id)
+        if chain is None:
+            self.misses += 1
+        return chain
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[ServiceChain]:
+        return iter(self._rules.values())
+
+    def __contains__(self, flow: Flow) -> bool:
+        return flow.flow_id in self._rules

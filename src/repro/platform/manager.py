@@ -1,0 +1,256 @@
+"""The NF Manager: the top-level object that wires the platform together.
+
+Mirrors Figure 2: a NIC, a Flow Table, Rx/Tx threads on dedicated cores,
+the Wakeup subsystem, and — when NFVnice features are enabled — the
+backpressure controller, ECN marker, cgroup controller and Monitor
+thread.  NFs are placed on shared worker cores, each core running one of
+the modelled kernel schedulers.
+
+Typical use::
+
+    mgr = NFManager(loop, scheduler="BATCH", config=PlatformConfig())
+    nf1 = NFProcess("nf1", FixedCost(120), config=mgr.config)
+    mgr.add_nf(nf1, core_id=0)
+    ...
+    chain = mgr.add_chain("chain-A", [nf1, nf2, nf3])
+    flow = Flow("f1")
+    mgr.install_flow(flow, chain)
+    mgr.start()
+    # feed mgr.nic via a traffic generator, then loop.run_until(...)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from typing import TYPE_CHECKING
+
+from repro.platform.chain import ServiceChain
+from repro.platform.config import PlatformConfig
+from repro.platform.flow_table import FlowTable
+from repro.platform.nic import NIC
+from repro.platform.rx import RxThread
+from repro.platform.tx import TxThread
+from repro.platform.wakeup import WakeupSubsystem
+from repro.sched import Core, make_scheduler
+from repro.sched.base import Scheduler
+from repro.sched.cgroups import CgroupController
+from repro.sim.engine import EventLoop
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.backpressure import BackpressureController
+    from repro.core.ecn import ECNMarker
+    from repro.core.monitor import MonitorThread
+    from repro.core.nf import NFProcess
+
+SchedulerSpec = Union[str, Callable[[], Scheduler]]
+
+
+class NFManager:
+    """Builds and runs an NFV platform instance."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        scheduler: SchedulerSpec = "BATCH",
+        config: Optional[PlatformConfig] = None,
+        nic: Optional[NIC] = None,
+    ):
+        self.loop = loop
+        self.config = config if config is not None else PlatformConfig()
+        self._scheduler_spec = scheduler
+        self.nic = nic if nic is not None else NIC()
+        self.flow_table = FlowTable()
+        self.chains: Dict[str, ServiceChain] = {}
+        self.nfs: List["NFProcess"] = []
+        self.cores: Dict[int, Core] = {}
+        self._started = False
+
+        # NFVnice subsystems (wired at start()).
+        self.cgroups = CgroupController()
+        self.backpressure: Optional["BackpressureController"] = None
+        self.ecn: Optional["ECNMarker"] = None
+        self.monitor: Optional["MonitorThread"] = None
+        self.wakeup: Optional[WakeupSubsystem] = None
+        self.rx_thread: Optional[RxThread] = None
+        self.tx_threads: List[TxThread] = []
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def _make_scheduler(self) -> Scheduler:
+        if callable(self._scheduler_spec):
+            return self._scheduler_spec()
+        return make_scheduler(self._scheduler_spec)
+
+    def core(self, core_id: int) -> Core:
+        """The worker core ``core_id`` (created on first use)."""
+        if core_id not in self.cores:
+            self.cores[core_id] = Core(
+                self.loop,
+                self._make_scheduler(),
+                core_id=core_id,
+                ctx_switch_ns=self.config.ctx_switch_ns,
+                max_segment_ns=float(self.config.tx_poll_ns),
+                socket=core_id // max(1, self.config.cores_per_socket),
+            )
+        return self.cores[core_id]
+
+    def add_nf(self, nf: "NFProcess", core_id: int = 0) -> "NFProcess":
+        """Place an NF on a worker core."""
+        if self._started:
+            raise RuntimeError("cannot add NFs after start()")
+        self.core(core_id).add_task(nf)
+        self.nfs.append(nf)
+        return nf
+
+    def add_chain(self, name: str, nfs: Sequence["NFProcess"]) -> ServiceChain:
+        """Define a service chain over already-added NFs."""
+        if name in self.chains:
+            raise ValueError(f"duplicate chain name {name!r}")
+        for nf in nfs:
+            if nf not in self.nfs:
+                raise ValueError(f"{nf.name} was not added to the manager")
+        chain = ServiceChain(name, nfs)
+        self.chains[name] = chain
+        return chain
+
+    def install_flow(self, flow, chain: ServiceChain) -> None:
+        """Steer ``flow`` into ``chain`` via the Flow Table."""
+        self.flow_table.install(flow, chain)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Wire and start the manager threads; idempotent."""
+        if self._started:
+            return
+        self._started = True
+        from repro.core.backpressure import BackpressureController
+        from repro.core.ecn import ECNMarker
+        from repro.core.monitor import MonitorThread
+
+        cfg = self.config
+        if cfg.enable_backpressure:
+            self.backpressure = BackpressureController(cfg)
+        if cfg.enable_ecn:
+            self.ecn = ECNMarker(cfg)
+        self.wakeup = WakeupSubsystem(self.loop, self.nfs, self.backpressure, cfg)
+        self.rx_thread = RxThread(
+            self.loop, self.nic, self.flow_table, self.wakeup,
+            self.backpressure, cfg, ecn=self.ecn,
+        )
+        n_tx = max(1, cfg.num_tx_threads)
+        partitions: List[List] = [self.nfs[i::n_tx] for i in range(n_tx)]
+        self.tx_threads = [
+            TxThread(self.loop, part, self.nic, self.wakeup,
+                     self.backpressure, self.ecn, cfg)
+            for part in partitions if part
+        ]
+        if not self.tx_threads:
+            # No NFs yet is unusual but legal; keep one idle thread so the
+            # attribute is populated.
+            self.tx_threads = [TxThread(self.loop, [], self.nic, self.wakeup,
+                                        self.backpressure, self.ecn, cfg)]
+        if cfg.enable_cgroups:
+            self.monitor = MonitorThread(
+                self.loop, self.nfs, self.cgroups, cfg, record_series=True
+            )
+            self.monitor.start()
+        self._apply_numa_penalties()
+        # Hook I/O completions into the wakeup path so an NF blocked on
+        # full double-buffers resumes as soon as a flush lands.
+        for nf in self.nfs:
+            if nf.io is not None and getattr(nf.io, "on_unblock", None) is None:
+                nf.io.on_unblock = self._io_unblock_callback(nf)
+        self.wakeup.start()
+        self.rx_thread.start()
+        stagger = cfg.tx_poll_ns // max(1, len(self.tx_threads))
+        for i, tx in enumerate(self.tx_threads):
+            tx.start(phase_ns=i * stagger)
+
+    def _apply_numa_penalties(self) -> None:
+        """Charge cross-socket chain hops (paper §1's NUMA concern).
+
+        An NF whose upstream hop in any chain lives on the other socket
+        touches remote memory for every packet; its effective per-packet
+        cost grows by ``numa_penalty_cycles``.  Placement-static: computed
+        once from the chain topology at start-up.
+        """
+        penalty = self.config.numa_penalty_cycles
+        if penalty <= 0:
+            return
+        from repro.nfs.cost_models import FixedCost, WithOverhead
+
+        for nf in self.nfs:
+            if nf.busy_loop or nf.core is None:
+                continue
+            remote = False
+            for chain, position in nf.chain_positions.values():
+                if position == 0:
+                    continue
+                upstream = chain.nfs[position - 1]
+                if upstream.core is not None and \
+                        upstream.core.socket != nf.core.socket:
+                    remote = True
+                    break
+            if not remote:
+                continue
+            nf.numa_remote_input = True
+            if isinstance(nf.cost_model, FixedCost):
+                nf.cost_model = FixedCost(nf.cost_model.cycles + penalty)
+            else:
+                nf.cost_model = WithOverhead(nf.cost_model, penalty)
+
+    def _io_unblock_callback(self, nf: "NFProcess"):
+        def _cb() -> None:
+            assert self.wakeup is not None
+            self.wakeup.notify(nf)
+
+        return _cb
+
+    def run(self, duration_ns: int) -> None:
+        """Run the platform for ``duration_ns`` of simulated time."""
+        self.start()
+        self.loop.run_until(self.loop.now + int(duration_ns))
+
+    def finalize(self) -> None:
+        """Close per-core idle accounting (call once, after the last run)."""
+        for core in self.cores.values():
+            core.finalize()
+
+    # ------------------------------------------------------------------
+    # Aggregate accounting
+    # ------------------------------------------------------------------
+    @property
+    def tx_thread(self) -> Optional[TxThread]:
+        """The first Tx thread (back-compat convenience)."""
+        return self.tx_threads[0] if self.tx_threads else None
+
+    @property
+    def total_completed(self) -> int:
+        """Packets that traversed their full chain and left the NIC."""
+        return sum(chain.completed for chain in self.chains.values())
+
+    @property
+    def total_wasted_drops(self) -> int:
+        """Packets dropped after at least one NF had processed them."""
+        return sum(chain.wasted_drops for chain in self.chains.values())
+
+    @property
+    def total_entry_discards(self) -> int:
+        """Packets shed by backpressure before any processing."""
+        return sum(chain.entry_discards for chain in self.chains.values())
+
+    def nf_by_name(self, name: str) -> "NFProcess":
+        for nf in self.nfs:
+            if nf.name == name:
+                return nf
+        raise KeyError(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NFManager(nfs={len(self.nfs)}, chains={len(self.chains)}, "
+            f"cores={sorted(self.cores)})"
+        )

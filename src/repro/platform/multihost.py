@@ -1,0 +1,113 @@
+"""Multi-host service chains (paper §3.3).
+
+"We also consider the fact that an NFVnice middlebox server might only be
+one in a chain spread across several hosts.  To facilitate congestion
+control across machines, the NF Manager will also mark the ECN bits in
+TCP flows" — per-host backpressure cannot reach across the wire, so the
+cross-host signal is ECN, which the TCP source reacts to end to end.
+
+:class:`HostLink` wires two :class:`~repro.platform.manager.NFManager`
+instances back to back: when a flow finishes its chain segment on the
+upstream host, the link carries it (with propagation delay and a link-rate
+cap) into the downstream host's NIC, where the flow's *next* chain segment
+takes over.  ECN CE marks applied on either host accumulate on the shared
+:class:`~repro.platform.packet.Flow`, so the sender sees congestion from
+any hop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.platform.manager import NFManager
+from repro.platform.nic import WIRE_OVERHEAD_BYTES
+from repro.platform.packet import Flow, PacketSegment
+from repro.sim.clock import SEC, USEC
+from repro.sim.engine import EventLoop
+
+
+class HostLink:
+    """A point-to-point wire from one host's egress to another's ingress.
+
+    Only flows explicitly mapped with :meth:`connect_flow` are carried;
+    other egress traffic leaves the topology (it reached its destination).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        upstream: NFManager,
+        downstream: NFManager,
+        latency_ns: int = 10 * USEC,
+        link_bps: float = 10e9,
+    ):
+        if upstream is downstream:
+            raise ValueError("a host link needs two distinct hosts")
+        self.loop = loop
+        self.upstream = upstream
+        self.downstream = downstream
+        self.latency_ns = int(latency_ns)
+        self.link_bps = float(link_bps)
+        #: upstream flow_id -> the downstream host's twin Flow object.
+        self._carried_flows: Dict[str, Flow] = {}
+        self._busy_until: float = 0.0
+        self.carried_packets = 0
+        self.carried_bytes = 0
+        if upstream.nic.on_transmit is not None:
+            raise ValueError("upstream NIC already has an egress tap")
+        upstream.nic.on_transmit = self._on_egress
+
+    # ------------------------------------------------------------------
+    def connect_flow(self, upstream_flow: Flow,
+                     downstream_flow: Optional[Flow] = None) -> Flow:
+        """Carry ``upstream_flow`` across this link.
+
+        Each host steers the flow with its own :class:`Flow` twin (the
+        ``chain`` backref is host-local) while stats and the TCP model are
+        shared.  Pass an existing twin or let the link clone one; install
+        the returned twin into the downstream host's flow table.
+        """
+        twin = (downstream_flow if downstream_flow is not None
+                else upstream_flow.clone_shared())
+        self._carried_flows[upstream_flow.flow_id] = twin
+        return twin
+
+    # ------------------------------------------------------------------
+    def _on_egress(self, segment: PacketSegment) -> None:
+        flow = self._carried_flows.get(segment.flow.flow_id)
+        if flow is None:
+            return
+        # Serialise onto the wire (link-rate cap), then propagate.
+        wire_bits = segment.count * (flow.pkt_size + WIRE_OVERHEAD_BYTES) * 8
+        start = max(float(self.loop.now), self._busy_until)
+        done = start + wire_bits * SEC / self.link_bps
+        self._busy_until = done
+        arrival = done + self.latency_ns
+        self.carried_packets += segment.count
+        self.carried_bytes += segment.count * flow.pkt_size
+        count = segment.count
+        origin = segment.origin_ns
+
+        def deliver() -> None:
+            # Re-originates queueing accounting on the far host but keeps
+            # the end-to-end origin stamp for whole-path latency.
+            self.downstream.nic.rx_ring.enqueue(
+                flow, count, self.loop.now, origin_ns=origin)
+
+        self.loop.call_at(arrival, deliver)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"HostLink({self.upstream.nic.name} -> "
+                f"{self.downstream.nic.name}, {self.latency_ns}ns)")
+
+
+def connect_hosts(
+    loop: EventLoop,
+    upstream: NFManager,
+    downstream: NFManager,
+    latency_ns: int = 10 * USEC,
+    link_bps: float = 10e9,
+) -> HostLink:
+    """Convenience wrapper for :class:`HostLink`."""
+    return HostLink(loop, upstream, downstream, latency_ns=latency_ns,
+                    link_bps=link_bps)

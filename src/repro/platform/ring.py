@@ -1,0 +1,202 @@
+"""Bounded packet-descriptor rings with watermark feedback.
+
+OpenNetVM connects the manager and NFs through fixed-size DPDK rings; the
+Tx thread "enqueues a packet to a NF's Rx queue if the queue is below the
+high watermark, while getting feedback about the queue's state in the
+return value" (§3.5).  :meth:`PacketRing.enqueue` reproduces exactly that
+contract: it accepts what fits, drops the excess, and reports whether the
+ring is now above the high watermark.
+
+The ring also maintains per-chain occupancy counts so the backpressure
+subsystem can classify a congested queue by service chain in O(1) instead
+of walking the queue (§3.3 "examines all packets in the NF's queue to
+determine what service chain they are a part of").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.platform.packet import Flow, PacketSegment
+
+
+class PacketRing:
+    """FIFO ring of :class:`PacketSegment` with a hard capacity."""
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        high_watermark: float = 0.80,
+        low_watermark: float = 0.60,
+        name: str = "",
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < low_watermark <= high_watermark <= 1.0:
+            raise ValueError(
+                f"watermarks must satisfy 0 < low <= high <= 1, got "
+                f"low={low_watermark}, high={high_watermark}"
+            )
+        self.name = name
+        self.capacity = int(capacity)
+        self.high_watermark = int(round(high_watermark * capacity))
+        self.low_watermark = int(round(low_watermark * capacity))
+        self._segments: Deque[PacketSegment] = deque()
+        self._count = 0
+        self._chain_counts: Dict[str, int] = {}
+        # Counters
+        self.enqueued_total = 0
+        self.dropped_total = 0
+        self.dequeued_total = 0
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._count
+
+    @property
+    def above_high(self) -> bool:
+        return self._count >= self.high_watermark
+
+    @property
+    def below_low(self) -> bool:
+        return self._count < self.low_watermark
+
+    def occupancy(self) -> float:
+        """Fill fraction in [0, 1]."""
+        return self._count / self.capacity
+
+    def head_wait_ns(self, now_ns: int) -> int:
+        """Queuing time of the oldest packet (0 when empty)."""
+        if not self._segments:
+            return 0
+        return max(0, int(now_ns) - self._segments[0].enqueue_ns)
+
+    def chain_count(self, chain_name: str) -> int:
+        """Packets currently queued that belong to ``chain_name``."""
+        return self._chain_counts.get(chain_name, 0)
+
+    def chains_present(self) -> List[str]:
+        """Names of chains with at least one queued packet."""
+        return [name for name, c in self._chain_counts.items() if c > 0]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def enqueue(self, flow: Flow, count: int, now_ns: int,
+                origin_ns: Optional[int] = None) -> Tuple[int, int, bool]:
+        """Append up to ``count`` packets of ``flow``.
+
+        ``origin_ns`` carries the packets' first-arrival stamp through the
+        chain (defaults to ``now_ns`` for fresh arrivals).  Returns
+        ``(accepted, dropped, above_high)`` — the watermark flag is
+        evaluated *after* the enqueue, which is the feedback the Tx thread
+        uses for overload detection.
+        """
+        if count <= 0:
+            return 0, 0, self.above_high
+        origin = int(now_ns) if origin_ns is None else int(origin_ns)
+        accepted = min(count, self.free)
+        dropped = count - accepted
+        if accepted > 0:
+            tail = self._segments[-1] if self._segments else None
+            if (
+                tail is not None
+                and tail.flow is flow
+                and tail.enqueue_ns == int(now_ns)
+                and tail.origin_ns == origin
+            ):
+                # Merge back-to-back same-flow arrivals into one segment.
+                tail.count += accepted
+            else:
+                self._segments.append(
+                    PacketSegment(flow, accepted, int(now_ns), origin))
+            self._count += accepted
+            self.enqueued_total += accepted
+            chain = flow.chain
+            if chain is not None:
+                key = chain.name
+                self._chain_counts[key] = self._chain_counts.get(key, 0) + accepted
+        if dropped > 0:
+            self.dropped_total += dropped
+            flow.stats.queue_drops += dropped
+        return accepted, dropped, self.above_high
+
+    def enqueue_segment(self, segment: PacketSegment, now_ns: int) -> Tuple[int, int, bool]:
+        """Enqueue an existing segment (re-stamps enqueue, keeps origin)."""
+        return self.enqueue(segment.flow, segment.count, now_ns,
+                            origin_ns=segment.origin_ns)
+
+    def dequeue(self, max_packets: int) -> List[PacketSegment]:
+        """Remove up to ``max_packets`` from the head, preserving FIFO order.
+
+        The returned segments keep their original ``enqueue_ns`` so the
+        caller can account queuing latency.
+        """
+        if max_packets <= 0:
+            return []
+        out: List[PacketSegment] = []
+        remaining = max_packets
+        segments = self._segments
+        while remaining > 0 and segments:
+            head = segments[0]
+            if head.count <= remaining:
+                segments.popleft()
+                taken = head
+            else:
+                taken = head.split(remaining)
+            out.append(taken)
+            remaining -= taken.count
+            self._count -= taken.count
+            self.dequeued_total += taken.count
+            chain = taken.flow.chain
+            if chain is not None:
+                self._chain_counts[chain.name] -= taken.count
+        return out
+
+    def peek_head(self) -> Optional[PacketSegment]:
+        """The oldest segment without removing it (None when empty)."""
+        return self._segments[0] if self._segments else None
+
+    def drop_chain(self, chain_name: str) -> int:
+        """Discard every queued packet belonging to ``chain_name``.
+
+        Supports the selective early-discard variant where the manager
+        purges a throttled chain's packets from an upstream queue.  Returns
+        the number of packets discarded.
+        """
+        dropped = 0
+        kept: Deque[PacketSegment] = deque()
+        for seg in self._segments:
+            chain = seg.flow.chain
+            if chain is not None and chain.name == chain_name:
+                dropped += seg.count
+                seg.flow.stats.queue_drops += seg.count
+            else:
+                kept.append(seg)
+        if dropped:
+            self._segments = kept
+            self._count -= dropped
+            self.dropped_total += dropped
+            self._chain_counts[chain_name] = 0
+        return dropped
+
+    def clear(self) -> int:
+        """Empty the ring (used by tests); returns packets removed."""
+        removed = self._count
+        self._segments.clear()
+        self._count = 0
+        self._chain_counts.clear()
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PacketRing({self.name!r}, {self._count}/{self.capacity}, "
+            f"hi={self.high_watermark}, lo={self.low_watermark})"
+        )

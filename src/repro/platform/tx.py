@@ -1,0 +1,124 @@
+"""The NF Manager's Tx threads (paper §3.1, §3.5).
+
+"After being processed by an NF, the NF Manager's Tx Threads move packets
+through the remainder of the chain" — from each NF's Tx ring either to the
+next NF's Rx ring (zero copy) or out the NIC when the chain is complete.
+
+Overload *detection* lives here for free: the watermark feedback returned
+by the downstream enqueue marks the NF overloaded on the backpressure
+watch list without any extra work on the data path.  Packets that do not
+fit in a downstream ring are dropped — this is precisely the *wasted work*
+the paper quantifies (Tables 3, 5, 6), since every upstream NF already
+spent cycles on them; the drop is attributed to the NF that just processed
+them.
+
+The Tx threads also update the per-ring queue-length EWMA and CE-mark
+responsive flows when it exceeds the marking threshold (§3.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.platform.config import PlatformConfig
+from repro.platform.nic import NIC
+from repro.platform.wakeup import WakeupSubsystem
+from repro.sim.engine import EventLoop
+from repro.sim.process import PeriodicProcess
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.backpressure import BackpressureController
+    from repro.core.ecn import ECNMarker
+    from repro.core.nf import NFProcess
+
+
+class TxThread:
+    """Ferries segments NF→NF and NF→NIC, detecting overload as it goes."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        nfs: List["NFProcess"],
+        nic: NIC,
+        wakeup: WakeupSubsystem,
+        backpressure: Optional["BackpressureController"],
+        ecn: Optional["ECNMarker"] = None,
+        config: Optional[PlatformConfig] = None,
+    ):
+        self.loop = loop
+        self.nfs = list(nfs)
+        self.nic = nic
+        self.wakeup = wakeup
+        self.backpressure = backpressure
+        self.ecn = ecn
+        self.config = config if config is not None else PlatformConfig()
+        self.forwarded = 0
+        self.egressed = 0
+        self.wasted_drops = 0
+        self._proc = PeriodicProcess(
+            loop, int(self.config.tx_poll_ns), self.poll, "tx-thread"
+        )
+
+    def start(self, phase_ns: int = 0) -> None:
+        """Begin polling; ``phase_ns`` staggers multiple Tx threads so they
+        interleave instead of firing back to back."""
+        self._proc.start(start_at=self.loop.now + self._proc.period
+                         + int(phase_ns))
+
+    def stop(self) -> None:
+        self._proc.stop()
+
+    # ------------------------------------------------------------------
+    def poll(self) -> None:
+        now = self.loop.now
+        for nf in self.nfs:
+            ring = nf.tx_ring
+            segments = ring.dequeue(len(ring))
+            if not segments:
+                continue
+            for seg in segments:
+                self._route(nf, seg, now)
+            # The NF may have been blocked on a full Tx ring; there is room
+            # again, so give it a chance to resume (local backpressure
+            # release, §3.3).
+            self.wakeup.notify(nf)
+        if self.ecn is not None:
+            for nf in self.nfs:
+                self.ecn.observe(nf.rx_ring)
+
+    def _route(self, nf: "NFProcess", seg, now: int) -> None:
+        flow = seg.flow
+        chain = flow.chain
+        if chain is None:
+            # Untracked flow: send it out the port.
+            self.nic.transmit(seg)
+            self.egressed += seg.count
+            return
+        nxt = chain.next_nf(nf)
+        if nxt is None:
+            self.nic.transmit(seg)
+            self.egressed += seg.count
+            chain.completed += seg.count
+            chain.completed_bytes += seg.count * flow.pkt_size
+            flow.stats.delivered += seg.count
+            latency = now - seg.origin_ns
+            if latency >= 0:
+                chain.latency_hist.add(latency, weight=seg.count)
+            return
+        accepted, dropped, above_high = nxt.rx_ring.enqueue(
+            flow, seg.count, now, origin_ns=seg.origin_ns)
+        self.forwarded += accepted
+        if dropped:
+            # Work already performed upstream is lost with these packets.
+            chain.wasted_drops += dropped
+            nf.wasted_processed += dropped
+            self.wasted_drops += dropped
+        if above_high and self.backpressure is not None:
+            self.backpressure.mark_overloaded(nxt)
+        if accepted:
+            if self.ecn is not None and flow.responsive:
+                fraction = self.ecn.mark_fraction(nxt.rx_ring)
+                to_mark = int(round(accepted * fraction))
+                if to_mark:
+                    self.ecn.mark(flow, to_mark, now)
+            self.wakeup.notify(nxt)

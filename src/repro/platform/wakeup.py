@@ -1,0 +1,88 @@
+"""The Wakeup subsystem (paper §3.2 "Activating NFs", §3.5).
+
+NFs sleep blocked on a semaphore shared with the manager; the Wakeup
+subsystem decides which NFs to make runnable.  Its policy "considers the
+number of packets pending in its queue, its priority relative to other
+NFs, and knowledge of the queue lengths of downstream NFs in the same
+chain" — concretely: an NF is woken only when it has packets, its output
+ring has room, its I/O buffers are not exhausted, and backpressure has not
+flagged it to stay off the CPU.
+
+The control decision to apply backpressure is delegated here too (§3.5):
+each scan first advances the backpressure state machine, then wakes every
+eligible NF.  Data-path components additionally call :meth:`notify`
+immediately after enqueueing so wake latency is not bounded by the scan
+period.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.platform.config import PlatformConfig
+from repro.sched.base import TaskState
+from repro.sim.engine import EventLoop
+from repro.sim.process import PeriodicProcess
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.backpressure import BackpressureController
+    from repro.core.nf import NFProcess
+
+
+class WakeupSubsystem:
+    """Semaphore posting with eligibility gating."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        nfs: List["NFProcess"],
+        backpressure: Optional["BackpressureController"],
+        config: Optional[PlatformConfig] = None,
+    ):
+        self.loop = loop
+        self.nfs = list(nfs)
+        self.backpressure = backpressure
+        self.config = config if config is not None else PlatformConfig()
+        self.wakeups_posted = 0
+        self._proc = PeriodicProcess(
+            loop, int(self.config.wakeup_scan_ns), self.scan, "wakeup"
+        )
+
+    def start(self) -> None:
+        self._proc.start()
+
+    def stop(self) -> None:
+        self._proc.stop()
+
+    # ------------------------------------------------------------------
+    def eligible(self, nf: "NFProcess") -> bool:
+        """May this blocked NF usefully run right now?"""
+        if nf.state is not TaskState.BLOCKED:
+            return False
+        if nf.relinquish:
+            return False
+        if nf.busy_loop:
+            return True
+        if nf.io is not None and nf.io.blocked:
+            return False
+        if len(nf.rx_ring) == 0:
+            return False
+        if nf.tx_ring.free == 0:
+            return False
+        return True
+
+    def notify(self, nf: "NFProcess") -> bool:
+        """Fast-path wake attempt after an enqueue or a resource release."""
+        if nf.core is None or not self.eligible(nf):
+            return False
+        if nf.core.wake(nf):
+            self.wakeups_posted += 1
+            return True
+        return False
+
+    def scan(self) -> None:
+        """Periodic pass: advance backpressure, then wake whoever is ready."""
+        if self.backpressure is not None:
+            self.backpressure.evaluate(self.loop.now)
+        for nf in self.nfs:
+            self.notify(nf)

@@ -1,0 +1,56 @@
+"""The cgroup cpu.shares control surface.
+
+NFVnice "leverages cgroups, a standard user space primitive provided by the
+operating system to manipulate process scheduling" (§3).  The Monitor thread
+writes computed shares through the cgroup *virtual filesystem*; the paper
+measures that write at ~5 µs, which is why weight updates are batched onto a
+10 ms period instead of being done on the data path (§3.5).
+
+This model keeps both the mechanism (weights consumed by the CFS vruntime
+scaling) and the cost accounting (number of sysfs writes and the time they
+would have burned).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.sched.base import CoreTask
+from repro.sim.clock import USEC
+
+#: Measured cost of one write to the cgroup sysfs (paper §4.3.8).
+SYSFS_WRITE_NS = 5 * USEC
+
+#: Kernel bounds on cpu.shares.
+MIN_SHARES = 2
+MAX_SHARES = 262_144
+
+
+class CgroupController:
+    """Applies cpu.shares to tasks and accounts the sysfs writes."""
+
+    def __init__(self, sysfs_write_ns: float = SYSFS_WRITE_NS):
+        self.sysfs_write_ns = float(sysfs_write_ns)
+        self.writes = 0
+        self.write_time_ns = 0.0
+        self._shares: Dict[str, int] = {}
+
+    def set_shares(self, task: CoreTask, shares: float) -> int:
+        """Write ``cpu.shares`` for ``task``; returns the clamped value.
+
+        Writes are skipped when the value is unchanged — re-writing an
+        identical weight costs a syscall for nothing, so the Monitor avoids
+        it and so do we.
+        """
+        value = int(round(shares))
+        value = max(MIN_SHARES, min(MAX_SHARES, value))
+        if self._shares.get(task.name) == value:
+            return value
+        self._shares[task.name] = value
+        self.writes += 1
+        self.write_time_ns += self.sysfs_write_ns
+        task.weight = value
+        return value
+
+    def get_shares(self, task: CoreTask) -> int:
+        return self._shares.get(task.name, task.weight)

@@ -1,0 +1,67 @@
+"""Cooperative user-space scheduling — the L-threads alternative (§5).
+
+The paper's related work weighs DPDK's L-thread-style cooperative
+user-space scheduling and rejects it for two documented reasons:
+
+  a) "they invariably require the threads to cooperate, i.e., each thread
+     must voluntarily yield ... without which progress of the threads
+     cannot be guaranteed";
+  b) "as there is no specific scheduling policy (it is just FIFO based),
+     all the L-threads share the same priority ... and thus lack the
+     ability to perform selective prioritization."
+
+:class:`CooperativeScheduler` models exactly that: a FIFO runqueue, an
+unbounded quantum (no preemption whatsoever — not even on wakeup), and no
+weight accounting.  Well-behaved NFs that yield between batches work fine;
+a single misbehaving NF that never yields starves the whole core, and
+cgroup weights written by the Monitor have no effect — the two failure
+modes the comparison experiment demonstrates.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional
+
+from repro.sched.base import CoreTask, Scheduler
+
+
+class CooperativeScheduler(Scheduler):
+    """FIFO run-to-yield scheduling with no preemption and no priorities."""
+
+    name = "COOP"
+
+    def __init__(self) -> None:
+        self._queue: Deque[CoreTask] = deque()
+
+    def enqueue(self, task: CoreTask, now_ns: int, wakeup: bool) -> None:
+        if task.sched_node is not None:
+            raise RuntimeError(f"{task.name} already enqueued")
+        task.sched_node = True
+        self._queue.append(task)
+
+    def dequeue(self, task: CoreTask, now_ns: int) -> None:
+        if task.sched_node is None:
+            return
+        self._queue.remove(task)
+        task.sched_node = None
+
+    def pick_next(self, now_ns: int) -> Optional[CoreTask]:
+        if not self._queue:
+            return None
+        task = self._queue.popleft()
+        task.sched_node = None
+        return task
+
+    def time_slice(self, task: CoreTask, now_ns: int) -> float:
+        # No timer interrupt exists: the task runs until it yields.
+        return math.inf
+
+    def charge(self, task: CoreTask, delta_ns: float) -> None:
+        # No virtual-time or priority accounting of any kind.
+        return None
+
+    @property
+    def nr_ready(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,281 @@
+"""A simulated CPU core.
+
+The core glues a scheduling policy to the event loop:
+
+* ``wake(task)`` — the NF Manager's Wakeup thread posts the semaphore of a
+  blocked NF (paper §3.2 "Activating NFs"); the task enters the runqueue
+  and may preempt the current task per policy.
+* dispatch — the policy picks a task and grants it a time slice; the core
+  plans a *run segment* up to ``min(remaining slice, task's own estimate of
+  when it will block)`` and schedules its end as an event.  At segment end
+  the task's ``execute`` performs the work (mutating queues); if it still
+  has work and budget, a new segment continues the same dispatch, which is
+  how newly arrived packets are absorbed without event invalidation.
+* ``interrupt_current`` — wakeup preemption or the NFVnice relinquish flag
+  cuts the running segment short; the partial work completed so far is
+  executed and charged.
+
+Context-switch classification matches ``pidstat``: a task that blocks of
+its own accord (out of packets, Tx ring full, I/O buffers full, relinquish
+flag) takes a *voluntary* switch; a task that exhausts its slice while
+others wait, or is preempted by a wakeup, takes a *non-voluntary* switch.
+Each actual task-to-task switch also burns a configurable overhead
+(direct cost plus cache disturbance) during which no task work happens —
+the overhead CFS NORMAL pays 65 000 times a second in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sched.base import (
+    CoreTask,
+    ExecOutcome,
+    Scheduler,
+    TaskState,
+)
+from repro.sim.engine import EventHandle, EventLoop
+
+#: Below this many nanoseconds of remaining slice we treat the budget as
+#: exhausted instead of scheduling sub-nanosecond segments.
+_MIN_BUDGET_NS = 1.0
+
+
+@dataclass
+class CoreStats:
+    """Aggregate core-level accounting."""
+
+    busy_ns: float = 0.0
+    idle_ns: float = 0.0
+    overhead_ns: float = 0.0
+    dispatches: int = 0
+
+    def utilization(self, horizon_ns: float) -> float:
+        """Fraction of the horizon spent doing task work or switching."""
+        if horizon_ns <= 0:
+            return 0.0
+        return (self.busy_ns + self.overhead_ns) / horizon_ns
+
+
+class Core:
+    """One CPU core running :class:`~repro.sched.base.CoreTask` instances."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        scheduler: Scheduler,
+        core_id: int = 0,
+        ctx_switch_ns: float = 1_500.0,
+        max_segment_ns: float = float("inf"),
+        socket: int = 0,
+    ):
+        self.loop = loop
+        self.scheduler = scheduler
+        self.core_id = core_id
+        #: NUMA socket this core belongs to.
+        self.socket = int(socket)
+        self.ctx_switch_ns = float(ctx_switch_ns)
+        #: Upper bound on one uninterrupted run segment.  The platform sets
+        #: this to the Tx thread poll period so an NF's output is produced
+        #: in sub-ring-size chunks interleaved with the manager's ferrying,
+        #: as on real hardware, instead of one burst at segment end.
+        self.max_segment_ns = float(max_segment_ns)
+        self.tasks: List[CoreTask] = []
+        self.stats = CoreStats()
+        #: Optional SchedTracer recording wake/dispatch/switch events.
+        self.tracer = None
+
+        self.current: Optional[CoreTask] = None
+        self._last_task: Optional[CoreTask] = None
+        self._segment_start: float = 0.0
+        self._segment_plan: float = 0.0
+        self._budget_left: float = 0.0
+        self._charged_this_run: float = 0.0
+        self._run_end: Optional[EventHandle] = None
+        self._idle_since: Optional[int] = 0  # core starts idle at t=0
+
+    # ------------------------------------------------------------------
+    # Task membership and wakeups
+    # ------------------------------------------------------------------
+    def add_task(self, task: CoreTask) -> None:
+        """Register a task; it starts BLOCKED until first woken."""
+        if task.core is not None:
+            raise ValueError(f"{task.name} already placed on core {task.core.core_id}")
+        task.core = self
+        self.tasks.append(task)
+
+    def wake(self, task: CoreTask) -> bool:
+        """Make a BLOCKED task runnable (semaphore post).  No-op otherwise."""
+        if task.state is not TaskState.BLOCKED:
+            return False
+        now = self.loop.now
+        task.state = TaskState.READY
+        task.last_ready_ns = now
+        task.stats.wakeups += 1
+        if self.tracer is not None:
+            self.tracer.record(now, self.core_id, "wake", task.name)
+        self.scheduler.enqueue(task, now, wakeup=True)
+        if self.current is None:
+            self._dispatch()
+        elif self.scheduler.preempts_on_wake(
+            task, self.current, self._elapsed_in_run(now)
+        ):
+            self.interrupt_current(voluntary=False)
+        return True
+
+    def block_ready(self, task: CoreTask) -> bool:
+        """Pull a READY (queued, not running) task back to BLOCKED.
+
+        Used by backpressure to keep a throttled NF off the CPU until its
+        downstream drains.  Returns False unless the task was READY.
+        """
+        if task.state is not TaskState.READY:
+            return False
+        self.scheduler.dequeue(task, self.loop.now)
+        task.state = TaskState.BLOCKED
+        return True
+
+    # ------------------------------------------------------------------
+    # Interrupting the running task
+    # ------------------------------------------------------------------
+    def interrupt_current(self, voluntary: bool) -> None:
+        """End the current run segment now.
+
+        ``voluntary=True`` models the relinquish flag (the NF yields at the
+        next batch boundary and blocks on its semaphore); ``voluntary=False``
+        models wakeup preemption (the task returns to the runqueue).
+        """
+        task = self.current
+        if task is None:
+            return
+        now = self.loop.now
+        if self._run_end is not None:
+            self._run_end.cancel()
+            self._run_end = None
+        elapsed = min(max(0.0, now - self._segment_start), self._segment_plan)
+        outcome = ExecOutcome.FLAG_YIELD if voluntary else ExecOutcome.USED_ALL
+        if elapsed > 0:
+            result = task.execute(now, elapsed)
+            self._charge(task, min(result.used_ns, elapsed))
+            self._budget_left -= elapsed
+            if result.outcome is not ExecOutcome.USED_ALL:
+                # It was about to block anyway; honor the task's own reason.
+                outcome = result.outcome
+        self._switch_out(outcome)
+
+    # ------------------------------------------------------------------
+    # Dispatch machinery
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        now = self.loop.now
+        task = self.scheduler.pick_next(now)
+        if task is None:
+            if self._idle_since is None:
+                self._idle_since = now
+            return
+        if self._idle_since is not None:
+            self.stats.idle_ns += now - self._idle_since
+            self._idle_since = None
+
+        task.state = TaskState.RUNNING
+        task.stats.sched_delay_ns += now - task.last_ready_ns
+        task.stats.sched_delay_count += 1
+        if self.tracer is not None:
+            self.tracer.record(now, self.core_id, "dispatch", task.name)
+
+        overhead = 0.0
+        if self._last_task is not None and self._last_task is not task:
+            overhead = self.ctx_switch_ns
+            self.stats.overhead_ns += overhead
+        self._last_task = task
+        self.current = task
+        self._charged_this_run = 0.0
+        self._budget_left = self.scheduler.time_slice(task, now)
+        self.stats.dispatches += 1
+        self._begin_segment(now + overhead)
+
+    def _begin_segment(self, start_ns: float) -> None:
+        task = self.current
+        assert task is not None
+        estimate = task.estimate_run_ns(self.loop.now)
+        if estimate <= 0:
+            # Spurious wake: nothing to do, block again immediately.
+            self._switch_out(ExecOutcome.RAN_OUT)
+            return
+        plan = min(estimate, self._budget_left, self.max_segment_ns)
+        self._segment_start = start_ns
+        self._segment_plan = plan
+        self._run_end = self.loop.call_at(start_ns + plan, self._on_segment_end)
+
+    def _on_segment_end(self) -> None:
+        self._run_end = None
+        task = self.current
+        assert task is not None
+        now = self.loop.now
+        work = self._segment_plan
+        result = task.execute(now, work)
+        self._charge(task, min(result.used_ns, work))
+        self._budget_left -= work
+
+        if result.outcome is not ExecOutcome.USED_ALL:
+            self._switch_out(result.outcome)
+            return
+        if self._budget_left >= _MIN_BUDGET_NS:
+            self._begin_segment(now)
+            return
+        if self.scheduler.nr_ready == 0:
+            # Nobody else wants the CPU: the kernel re-picks the same task
+            # with a fresh slice and no context switch occurs.
+            self._budget_left = self.scheduler.time_slice(task, now)
+            self._begin_segment(now)
+            return
+        self._switch_out(ExecOutcome.USED_ALL)
+
+    def _switch_out(self, outcome: ExecOutcome) -> None:
+        task = self.current
+        assert task is not None
+        now = self.loop.now
+        self.current = None
+        if self.tracer is not None:
+            self.tracer.record(now, self.core_id, "switch_out", task.name,
+                               outcome.value)
+        if outcome is ExecOutcome.USED_ALL:
+            task.stats.involuntary_switches += 1
+            task.state = TaskState.READY
+            task.last_ready_ns = now
+            self.scheduler.enqueue(task, now, wakeup=False)
+        else:
+            task.stats.voluntary_switches += 1
+            task.state = TaskState.BLOCKED
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+    def _charge(self, task: CoreTask, used_ns: float) -> None:
+        if used_ns <= 0:
+            return
+        task.stats.runtime_ns += used_ns
+        self.stats.busy_ns += used_ns
+        self.scheduler.charge(task, used_ns)
+        self._charged_this_run += used_ns
+
+    def _elapsed_in_run(self, now: int) -> float:
+        segment_elapsed = min(
+            max(0.0, now - self._segment_start), self._segment_plan
+        )
+        return self._charged_this_run + segment_elapsed
+
+    def finalize(self) -> None:
+        """Close idle accounting at the end of a run (call once at horizon)."""
+        if self._idle_since is not None:
+            self.stats.idle_ns += self.loop.now - self._idle_since
+            self._idle_since = self.loop.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cur = self.current.name if self.current else "idle"
+        return (
+            f"Core({self.core_id}, {self.scheduler.name}, "
+            f"running={cur}, tasks={len(self.tasks)})"
+        )

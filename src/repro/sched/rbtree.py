@@ -1,0 +1,311 @@
+"""A red-black tree keyed by ``(key, seq)``.
+
+The kernel's CFS keeps runnable tasks in a red-black tree ordered by
+vruntime and always runs the leftmost node; this is a faithful (if compact)
+reimplementation supporting exactly the operations CFS needs: insert,
+remove-by-node, and leftmost lookup.  Ties on ``key`` are broken by a
+monotonically increasing sequence number so insertion order is stable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+RED = True
+BLACK = False
+
+
+class RBNode:
+    """Tree node; ``value`` is the payload (a task)."""
+
+    __slots__ = ("key", "seq", "value", "left", "right", "parent", "color")
+
+    def __init__(self, key: float, seq: int, value: Any):
+        self.key = key
+        self.seq = seq
+        self.value = value
+        self.left: Optional[RBNode] = None
+        self.right: Optional[RBNode] = None
+        self.parent: Optional[RBNode] = None
+        self.color = RED
+
+    def _less(self, other: "RBNode") -> bool:
+        if self.key != other.key:
+            return self.key < other.key
+        return self.seq < other.seq
+
+
+class RBTree:
+    """Red-black tree with O(log n) insert/remove and O(1) leftmost."""
+
+    def __init__(self) -> None:
+        self.root: Optional[RBNode] = None
+        self._leftmost: Optional[RBNode] = None
+        self._size = 0
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+    def insert(self, key: float, value: Any) -> RBNode:
+        """Insert ``value`` under ``key``; returns the node for later removal."""
+        self._seq += 1
+        node = RBNode(key, self._seq, value)
+        # BST insert
+        parent = None
+        cur = self.root
+        is_left_path = True
+        while cur is not None:
+            parent = cur
+            if node._less(cur):
+                cur = cur.left
+            else:
+                cur = cur.right
+                is_left_path = False
+        node.parent = parent
+        if parent is None:
+            self.root = node
+        elif node._less(parent):
+            parent.left = node
+        else:
+            parent.right = node
+        if is_left_path:
+            self._leftmost = node
+        self._size += 1
+        self._insert_fixup(node)
+        return node
+
+    def min_node(self) -> Optional[RBNode]:
+        """Leftmost (minimum) node, or None when empty."""
+        return self._leftmost
+
+    def min_key(self) -> Optional[float]:
+        return self._leftmost.key if self._leftmost is not None else None
+
+    def remove(self, node: RBNode) -> None:
+        """Remove ``node`` (must currently be in the tree)."""
+        if self._leftmost is node:
+            self._leftmost = self._successor(node)
+        self._delete(node)
+        self._size -= 1
+
+    def pop_min(self) -> Optional[Any]:
+        """Remove and return the payload of the leftmost node."""
+        node = self._leftmost
+        if node is None:
+            return None
+        self.remove(node)
+        return node.value
+
+    def items(self):
+        """In-order (key, value) iterator — used by tests and invariants."""
+        stack = []
+        cur = self.root
+        while stack or cur is not None:
+            while cur is not None:
+                stack.append(cur)
+                cur = cur.left
+            cur = stack.pop()
+            yield cur.key, cur.value
+            cur = cur.right
+
+    # ------------------------------------------------------------------
+    # Internals: rotations and fixups (CLRS)
+    # ------------------------------------------------------------------
+    def _successor(self, node: RBNode) -> Optional[RBNode]:
+        if node.right is not None:
+            cur = node.right
+            while cur.left is not None:
+                cur = cur.left
+            return cur
+        cur = node
+        parent = node.parent
+        while parent is not None and cur is parent.right:
+            cur = parent
+            parent = parent.parent
+        return parent
+
+    def _rotate_left(self, x: RBNode) -> None:
+        y = x.right
+        assert y is not None
+        x.right = y.left
+        if y.left is not None:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self.root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: RBNode) -> None:
+        y = x.left
+        assert y is not None
+        x.left = y.right
+        if y.right is not None:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is None:
+            self.root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    def _insert_fixup(self, z: RBNode) -> None:
+        while z.parent is not None and z.parent.color is RED:
+            gp = z.parent.parent
+            assert gp is not None  # red parent always has a parent
+            if z.parent is gp.left:
+                uncle = gp.right
+                if uncle is not None and uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    gp.color = RED
+                    z = gp
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    gp.color = RED
+                    self._rotate_right(gp)
+            else:
+                uncle = gp.left
+                if uncle is not None and uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    gp.color = RED
+                    z = gp
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    gp.color = RED
+                    self._rotate_left(gp)
+        assert self.root is not None
+        self.root.color = BLACK
+
+    def _transplant(self, u: RBNode, v: Optional[RBNode]) -> None:
+        if u.parent is None:
+            self.root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        if v is not None:
+            v.parent = u.parent
+
+    def _delete(self, z: RBNode) -> None:
+        y = z
+        y_original_color = y.color
+        x: Optional[RBNode]
+        x_parent: Optional[RBNode]
+        if z.left is None:
+            x = z.right
+            x_parent = z.parent
+            self._transplant(z, z.right)
+        elif z.right is None:
+            x = z.left
+            x_parent = z.parent
+            self._transplant(z, z.left)
+        else:
+            y = z.right
+            while y.left is not None:
+                y = y.left
+            y_original_color = y.color
+            x = y.right
+            if y.parent is z:
+                x_parent = y
+            else:
+                x_parent = y.parent
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_original_color is BLACK:
+            self._delete_fixup(x, x_parent)
+        z.parent = z.left = z.right = None
+
+    def _delete_fixup(self, x: Optional[RBNode], x_parent: Optional[RBNode]) -> None:
+        while x is not self.root and (x is None or x.color is BLACK):
+            if x_parent is None:
+                break
+            if x is x_parent.left:
+                w = x_parent.right
+                if w is not None and w.color is RED:
+                    w.color = BLACK
+                    x_parent.color = RED
+                    self._rotate_left(x_parent)
+                    w = x_parent.right
+                if w is None:
+                    x = x_parent
+                    x_parent = x.parent
+                    continue
+                w_left_black = w.left is None or w.left.color is BLACK
+                w_right_black = w.right is None or w.right.color is BLACK
+                if w_left_black and w_right_black:
+                    w.color = RED
+                    x = x_parent
+                    x_parent = x.parent
+                else:
+                    if w_right_black:
+                        if w.left is not None:
+                            w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = x_parent.right
+                    assert w is not None
+                    w.color = x_parent.color
+                    x_parent.color = BLACK
+                    if w.right is not None:
+                        w.right.color = BLACK
+                    self._rotate_left(x_parent)
+                    x = self.root
+                    x_parent = None
+            else:
+                w = x_parent.left
+                if w is not None and w.color is RED:
+                    w.color = BLACK
+                    x_parent.color = RED
+                    self._rotate_right(x_parent)
+                    w = x_parent.left
+                if w is None:
+                    x = x_parent
+                    x_parent = x.parent
+                    continue
+                w_left_black = w.left is None or w.left.color is BLACK
+                w_right_black = w.right is None or w.right.color is BLACK
+                if w_left_black and w_right_black:
+                    w.color = RED
+                    x = x_parent
+                    x_parent = x.parent
+                else:
+                    if w_left_black:
+                        if w.right is not None:
+                            w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = x_parent.left
+                    assert w is not None
+                    w.color = x_parent.color
+                    x_parent.color = BLACK
+                    if w.left is not None:
+                        w.left.color = BLACK
+                    self._rotate_right(x_parent)
+                    x = self.root
+                    x_parent = None
+        if x is not None:
+            x.color = BLACK

@@ -1,0 +1,64 @@
+"""SCHED_RR: the real-time round-robin policy.
+
+The paper evaluates RR with 1 ms and 100 ms time slices.  RR "simply cycles
+through processes ... but does not attempt to offer any concept of fairness"
+(§2.2): the quantum is fixed, weights are ignored, and a waking task never
+preempts the current one.  Tasks that yield early (out of packets) simply
+give up the remainder of their quantum — which is why RR approximates rate
+proportionality for homogeneous NFs but lets heavyweight NFs hog the CPU for
+heterogeneous ones.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.sched.base import CoreTask, Scheduler
+from repro.sim.clock import MSEC
+
+
+class RRScheduler(Scheduler):
+    """Fixed-quantum round robin over a FIFO runqueue."""
+
+    def __init__(self, quantum_ns: int = 100 * MSEC):
+        if quantum_ns <= 0:
+            raise ValueError("quantum must be positive")
+        self.quantum_ns = int(quantum_ns)
+        self._queue: Deque[CoreTask] = deque()
+        self.name = f"RR({self._label()})"
+
+    def _label(self) -> str:
+        if self.quantum_ns % MSEC == 0:
+            return f"{self.quantum_ns // MSEC}ms"
+        return f"{self.quantum_ns}ns"
+
+    def enqueue(self, task: CoreTask, now_ns: int, wakeup: bool) -> None:
+        if task.sched_node is not None:
+            raise RuntimeError(f"{task.name} already enqueued")
+        task.sched_node = True  # membership marker
+        self._queue.append(task)
+
+    def dequeue(self, task: CoreTask, now_ns: int) -> None:
+        if task.sched_node is None:
+            return
+        self._queue.remove(task)
+        task.sched_node = None
+
+    def pick_next(self, now_ns: int) -> Optional[CoreTask]:
+        if not self._queue:
+            return None
+        task = self._queue.popleft()
+        task.sched_node = None
+        return task
+
+    def time_slice(self, task: CoreTask, now_ns: int) -> float:
+        return float(self.quantum_ns)
+
+    def charge(self, task: CoreTask, delta_ns: float) -> None:
+        # RR keeps no virtual-time accounting.
+        return None
+
+    @property
+    def nr_ready(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,135 @@
+"""The discrete-event loop.
+
+A minimal, fast event queue: a binary heap of ``(time, sequence, handle)``
+entries.  Cancellation is lazy — a cancelled handle stays in the heap and is
+skipped when popped — because schedulers and cores re-plan the running task
+frequently (every enqueue to a running NF invalidates its predicted yield
+time) and eager heap removal would dominate the run time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, List, Optional
+
+
+class EventHandle:
+    """A scheduled callback; ``cancel()`` prevents it from firing."""
+
+    __slots__ = ("time", "callback", "cancelled", "_loop")
+
+    def __init__(self, time: int, callback: Callable[[], None], loop: "EventLoop"):
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+        self._loop = loop
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it.  Idempotent."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self._loop._live_events -= 1
+        # Drop the reference so large closures are collectable immediately.
+        self.callback = _noop
+
+
+def _noop() -> None:
+    return None
+
+
+class EventLoop:
+    """Nanosecond-resolution discrete-event loop.
+
+    Events scheduled for the same instant fire in scheduling order
+    (a monotonically increasing sequence number breaks ties), which makes
+    runs fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List = []
+        self._seq: int = 0
+        self._live_events: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated time ``time`` (ns).
+
+        ``time`` is rounded up to an integer nanosecond and clamped to
+        ``now`` so an event can never fire in the past.
+        """
+        t = int(math.ceil(time))
+        if t < self.now:
+            t = self.now
+        handle = EventHandle(t, callback, self)
+        self._seq += 1
+        heapq.heappush(self._heap, (t, self._seq, handle))
+        self._live_events += 1
+        return handle
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` nanoseconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        return self.call_at(self.now + delay, callback)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when the queue is empty."""
+        heap = self._heap
+        while heap:
+            t, _seq, handle = heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self._live_events -= 1
+            self.now = t
+            handle.callback()
+            return True
+        return False
+
+    def run_until(self, t_end: float) -> None:
+        """Run events with ``time <= t_end``; the clock finishes at ``t_end``.
+
+        Events scheduled exactly at ``t_end`` *do* run, so periodic samplers
+        aligned with the horizon record their final sample.
+        """
+        t_end = int(t_end)
+        heap = self._heap
+        while heap:
+            t, _seq, handle = heap[0]
+            if t > t_end:
+                break
+            heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self._live_events -= 1
+            self.now = t
+            handle.callback()
+        if self.now < t_end:
+            self.now = t_end
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain the queue (or at most ``max_events``); returns events run."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        return count
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) scheduled events."""
+        return self._live_events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventLoop(now={self.now}ns, pending={self.pending})"

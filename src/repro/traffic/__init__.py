@@ -1,0 +1,16 @@
+"""Traffic generation: MoonGen/Pktgen-style load and an iperf-like TCP.
+
+* :mod:`~repro.traffic.flows` — flow specifications (rate, packet size,
+  on/off interval, CBR or Poisson arrivals).
+* :mod:`~repro.traffic.generator` — drives specs into the NIC at line
+  rate or any configured rate.
+* :mod:`~repro.traffic.tcp` — a rate-based TCP congestion-control model
+  (slow start + AIMD, loss and ECN feedback) sufficient to reproduce the
+  §4.3.4 performance-isolation dynamics.
+"""
+
+from repro.traffic.flows import FlowSpec
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.tcp import TCPFlow
+
+__all__ = ["FlowSpec", "TrafficGenerator", "TCPFlow"]

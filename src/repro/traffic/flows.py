@@ -1,0 +1,62 @@
+"""Flow specifications for the traffic generator."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.platform.packet import Flow
+
+
+class FlowSpec:
+    """How one flow is offered to the NIC.
+
+    ``rate_pps`` is read every generator tick, so a congestion-control
+    model (or a scripted experiment such as Figure 15a's cost step) can
+    change it mid-run.  ``start_ns``/``stop_ns`` bound the active interval
+    (Figure 13 turns its UDP flows on at t=15 s and off at t=40 s).
+    """
+
+    def __init__(
+        self,
+        flow: Flow,
+        rate_pps: float,
+        start_ns: int = 0,
+        stop_ns: Optional[int] = None,
+        pattern: str = "cbr",
+    ):
+        if rate_pps < 0:
+            raise ValueError("rate must be non-negative")
+        if pattern not in ("cbr", "poisson"):
+            raise ValueError(f"unknown arrival pattern {pattern!r}")
+        self.flow = flow
+        self.rate_pps = float(rate_pps)
+        self.start_ns = int(start_ns)
+        self.stop_ns = None if stop_ns is None else int(stop_ns)
+        self.pattern = pattern
+        self._carry = 0.0  # fractional packets carried between ticks
+
+    def active(self, now_ns: int) -> bool:
+        if now_ns < self.start_ns:
+            return False
+        if self.stop_ns is not None and now_ns >= self.stop_ns:
+            return False
+        return True
+
+    def packets_this_tick(self, dt_ns: int, rng=None) -> int:
+        """Packets to emit for a tick of ``dt_ns`` (CBR keeps a fractional
+        carry so long-run rates are exact; Poisson draws from the RNG)."""
+        expected = self.rate_pps * dt_ns / 1e9
+        if self.pattern == "poisson":
+            if rng is None:
+                raise ValueError("poisson arrivals need an RNG")
+            return int(rng.poisson(expected))
+        self._carry += expected
+        n = int(self._carry)
+        self._carry -= n
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlowSpec({self.flow.flow_id!r}, {self.rate_pps:g}pps, "
+            f"{self.pattern})"
+        )

@@ -1,0 +1,203 @@
+"""Tests for the backpressure state machine and chain throttling."""
+
+import pytest
+
+from repro.core.backpressure import BackpressureController, BackpressureState
+from repro.core.nf import NFProcess
+from repro.nfs.cost_models import FixedCost
+from repro.platform.chain import ServiceChain
+from repro.platform.config import PlatformConfig
+from repro.platform.packet import Flow
+from repro.sim.clock import USEC
+
+
+@pytest.fixture
+def bp_config():
+    return PlatformConfig(
+        ring_capacity=100,
+        high_watermark=0.8,
+        low_watermark=0.6,
+        queuing_time_threshold_ns=100 * USEC,
+        nf_overhead_cycles=0.0,
+    )
+
+
+def make_chain(bp_config, n=3, name="chain"):
+    nfs = [NFProcess(f"{name}-nf{i}", FixedCost(100), config=bp_config)
+           for i in range(n)]
+    chain = ServiceChain(name, nfs)
+    return chain, nfs
+
+
+def fill(nf, count, now=0, chain=None):
+    f = Flow(f"fill-{nf.name}-{now}")
+    f.chain = chain
+    nf.rx_ring.enqueue(f, count, now)
+    return f
+
+
+class TestStateMachine:
+    def test_initial_state_off(self, bp_config):
+        bp = BackpressureController(bp_config)
+        chain, nfs = make_chain(bp_config)
+        assert bp.state_of(nfs[1]) is BackpressureState.OFF
+
+    def test_mark_overloaded_enters_watch(self, bp_config):
+        bp = BackpressureController(bp_config)
+        chain, nfs = make_chain(bp_config)
+        bp.mark_overloaded(nfs[1])
+        assert bp.state_of(nfs[1]) is BackpressureState.WATCH
+        assert not chain.throttled  # watch alone does not throttle
+
+    def test_throttle_requires_queuing_time_gate(self, bp_config):
+        """Above the high watermark but young head-of-queue: a short burst
+        that should be forgiven (§3.5 hysteresis)."""
+        bp = BackpressureController(bp_config)
+        chain, nfs = make_chain(bp_config)
+        fill(nfs[1], 90, now=0, chain=chain)
+        bp.mark_overloaded(nfs[1])
+        bp.evaluate(now_ns=50 * USEC)  # head wait 50us < 100us threshold
+        assert not chain.throttled
+        bp.evaluate(now_ns=200 * USEC)
+        assert chain.throttled
+        assert chain.throttle_cause is nfs[1]
+
+    def test_clear_on_low_watermark(self, bp_config):
+        bp = BackpressureController(bp_config)
+        chain, nfs = make_chain(bp_config)
+        fill(nfs[1], 90, chain=chain)
+        bp.mark_overloaded(nfs[1])
+        bp.evaluate(200 * USEC)
+        assert chain.throttled
+        nfs[1].rx_ring.dequeue(40)  # 50 left, below low (60)
+        bp.evaluate(300 * USEC)
+        assert not chain.throttled
+        assert bp.state_of(nfs[1]) is BackpressureState.OFF
+
+    def test_hysteresis_band_keeps_throttle(self, bp_config):
+        """Between low and high watermarks the throttle holds (Figure 4)."""
+        bp = BackpressureController(bp_config)
+        chain, nfs = make_chain(bp_config)
+        fill(nfs[1], 90, chain=chain)
+        bp.mark_overloaded(nfs[1])
+        bp.evaluate(200 * USEC)
+        nfs[1].rx_ring.dequeue(20)  # 70 left: between 60 and 80
+        bp.evaluate(300 * USEC)
+        assert chain.throttled
+
+    def test_watch_clears_without_throttle_if_drained(self, bp_config):
+        bp = BackpressureController(bp_config)
+        chain, nfs = make_chain(bp_config)
+        fill(nfs[1], 90, chain=chain)
+        bp.mark_overloaded(nfs[1])
+        nfs[1].rx_ring.dequeue(80)
+        bp.evaluate(200 * USEC)
+        assert bp.state_of(nfs[1]) is BackpressureState.OFF
+
+    def test_entry_nf_does_not_throttle_chain(self, bp_config):
+        """Congestion at the chain's first NF wastes nothing upstream —
+        selective throttling skips position 0."""
+        bp = BackpressureController(bp_config)
+        chain, nfs = make_chain(bp_config)
+        fill(nfs[0], 90, chain=chain)
+        bp.mark_overloaded(nfs[0])
+        bp.evaluate(200 * USEC)
+        assert not chain.throttled
+
+    def test_counters(self, bp_config):
+        bp = BackpressureController(bp_config)
+        chain, nfs = make_chain(bp_config)
+        fill(nfs[1], 90, chain=chain)
+        bp.mark_overloaded(nfs[1])
+        bp.evaluate(200 * USEC)
+        nfs[1].rx_ring.dequeue(90)
+        bp.evaluate(300 * USEC)
+        assert bp.throttle_events == 1
+        assert bp.clear_events == 1
+
+
+class TestSharedNFSelectivity:
+    def test_only_chains_through_congested_nf_throttled(self, bp_config):
+        """Figure 5: chain B is not affected."""
+        bp = BackpressureController(bp_config)
+        nf_a = NFProcess("a", FixedCost(100), config=bp_config)
+        nf_b = NFProcess("b", FixedCost(100), config=bp_config)
+        nf_c = NFProcess("c", FixedCost(100), config=bp_config)
+        chain_ab = ServiceChain("AB", [nf_a, nf_b])
+        chain_ac = ServiceChain("AC", [nf_a, nf_c])
+        fill(nf_b, 90, chain=chain_ab)
+        bp.mark_overloaded(nf_b)
+        bp.evaluate(200 * USEC)
+        assert chain_ab.throttled
+        assert not chain_ac.throttled
+        # Shared upstream nf_a serves an un-throttled chain: no relinquish.
+        assert not nf_a.relinquish
+
+    def test_relinquish_when_all_chains_throttled(self, bp_config):
+        bp = BackpressureController(bp_config)
+        chain, nfs = make_chain(bp_config)
+        fill(nfs[2], 90, chain=chain)
+        bp.mark_overloaded(nfs[2])
+        bp.evaluate(200 * USEC)
+        assert chain.throttled
+        assert nfs[0].relinquish and nfs[1].relinquish
+        # And cleared once the congestion drains.
+        nfs[2].rx_ring.dequeue(90)
+        bp.evaluate(300 * USEC)
+        assert not nfs[0].relinquish and not nfs[1].relinquish
+
+    def test_relinquish_disabled_by_config(self, bp_config):
+        import dataclasses
+
+        cfg = dataclasses.replace(bp_config, enable_relinquish=False)
+        bp = BackpressureController(cfg)
+        chain, nfs = make_chain(cfg)
+        fill(nfs[2], 90, chain=chain)
+        bp.mark_overloaded(nfs[2])
+        bp.evaluate(200 * USEC)
+        assert chain.throttled
+        assert not nfs[0].relinquish
+
+    def test_chain_agnostic_ablation_collateral_throttle(self, bp_config):
+        """Without selectivity, a sibling chain sharing only an upstream
+        NF gets throttled too (the damage Figure 5 avoids)."""
+        import dataclasses
+
+        cfg = dataclasses.replace(bp_config, selective_chain_throttle=False)
+        bp = BackpressureController(cfg)
+        nf_a = NFProcess("a", FixedCost(100), config=cfg)
+        nf_b = NFProcess("b", FixedCost(100), config=cfg)
+        nf_c = NFProcess("c", FixedCost(100), config=cfg)
+        chain_ab = ServiceChain("AB", [nf_a, nf_b])
+        chain_ac = ServiceChain("AC", [nf_a, nf_c])
+        fill(nf_b, 90, chain=chain_ab)
+        bp.mark_overloaded(nf_b)
+        bp.evaluate(200 * USEC)
+        assert chain_ab.throttled
+        assert chain_ac.throttled  # innocent sibling hit as well
+
+    def test_two_congested_nfs_reclaim(self, bp_config):
+        """When one congested NF clears, a chain is re-claimed by another
+        still-congested NF instead of silently un-throttling."""
+        bp = BackpressureController(bp_config)
+        chain, nfs = make_chain(bp_config, n=3)
+        fill(nfs[1], 90, chain=chain)
+        fill(nfs[2], 90, chain=chain)
+        bp.mark_overloaded(nfs[1])
+        bp.mark_overloaded(nfs[2])
+        bp.evaluate(200 * USEC)
+        assert chain.throttled
+        # nfs[1] (or whichever claimed it) drains; the other still full.
+        cause = chain.throttle_cause
+        cause.rx_ring.dequeue(90)
+        bp.evaluate(400 * USEC)
+        assert chain.throttled
+        assert chain.throttle_cause is not cause
+
+    def test_throttled_chains_reporting(self, bp_config):
+        bp = BackpressureController(bp_config)
+        chain, nfs = make_chain(bp_config)
+        fill(nfs[1], 90, chain=chain)
+        bp.mark_overloaded(nfs[1])
+        bp.evaluate(200 * USEC)
+        assert chain in bp.throttled_chains()

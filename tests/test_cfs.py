@@ -1,0 +1,180 @@
+"""Unit tests for the CFS scheduler models."""
+
+import pytest
+
+from repro.sched.base import CoreTask
+from repro.sched.cfs import CFSBatchScheduler, CFSScheduler, NICE_0_WEIGHT
+from repro.sim.clock import MSEC
+
+
+def make_task(name="t", weight=1024):
+    return CoreTask(name, weight)
+
+
+class TestRunqueue:
+    def test_pick_from_empty(self):
+        sched = CFSScheduler()
+        assert sched.pick_next(0) is None
+
+    def test_picks_min_vruntime(self):
+        sched = CFSScheduler()
+        a, b = make_task("a"), make_task("b")
+        a.vruntime = 100.0
+        b.vruntime = 50.0
+        sched.enqueue(a, 0, wakeup=False)
+        sched.enqueue(b, 0, wakeup=False)
+        assert sched.pick_next(0) is b
+        assert sched.pick_next(0) is a
+
+    def test_double_enqueue_rejected(self):
+        sched = CFSScheduler()
+        a = make_task()
+        sched.enqueue(a, 0, wakeup=False)
+        with pytest.raises(RuntimeError):
+            sched.enqueue(a, 0, wakeup=False)
+
+    def test_dequeue_removes(self):
+        sched = CFSScheduler()
+        a, b = make_task("a"), make_task("b")
+        sched.enqueue(a, 0, wakeup=False)
+        sched.enqueue(b, 0, wakeup=False)
+        sched.dequeue(a, 0)
+        assert sched.nr_ready == 1
+        assert sched.pick_next(0) is b
+
+    def test_nr_ready(self):
+        sched = CFSScheduler()
+        for i in range(5):
+            sched.enqueue(make_task(f"t{i}"), 0, wakeup=False)
+        assert sched.nr_ready == 5
+
+
+class TestVruntime:
+    def test_charge_scales_by_weight(self):
+        sched = CFSScheduler()
+        normal = make_task("n", weight=NICE_0_WEIGHT)
+        heavy = make_task("h", weight=2 * NICE_0_WEIGHT)
+        sched.charge(normal, 1000.0)
+        sched.charge(heavy, 1000.0)
+        assert normal.vruntime == pytest.approx(1000.0)
+        assert heavy.vruntime == pytest.approx(500.0)
+
+    def test_heavier_task_runs_more(self):
+        """Alternating picks with equal charges: the double-weight task is
+        selected about twice as often."""
+        sched = CFSScheduler()
+        a = make_task("a", weight=1024)
+        b = make_task("b", weight=2048)
+        sched.enqueue(a, 0, wakeup=False)
+        sched.enqueue(b, 0, wakeup=False)
+        runs = {"a": 0, "b": 0}
+        for _ in range(300):
+            task = sched.pick_next(0)
+            runs[task.name] += 1
+            sched.charge(task, 1000.0)
+            sched.enqueue(task, 0, wakeup=False)
+        assert runs["b"] / runs["a"] == pytest.approx(2.0, rel=0.05)
+
+    def test_min_vruntime_monotone(self):
+        sched = CFSScheduler()
+        a = make_task("a")
+        sched.enqueue(a, 0, wakeup=False)
+        values = []
+        for _ in range(10):
+            task = sched.pick_next(0)
+            sched.charge(task, 500.0)
+            values.append(sched.min_vruntime)
+            sched.enqueue(task, 0, wakeup=False)
+        assert values == sorted(values)
+
+    def test_sleeper_fairness_floor(self):
+        """A task waking after a long sleep is placed at most half a
+        latency period behind min_vruntime, not at its stale vruntime."""
+        sched = CFSScheduler()
+        runner = make_task("runner")
+        sched.charge(runner, 100 * MSEC)  # min_vruntime advances
+        sleeper = make_task("sleeper")
+        sleeper.vruntime = 0.0
+        sched.enqueue(sleeper, 0, wakeup=True)
+        floor = sched.min_vruntime - sched.sched_latency_ns / 2.0
+        assert sleeper.vruntime == pytest.approx(floor)
+
+    def test_wakeup_does_not_penalise_ahead_task(self):
+        sched = CFSScheduler()
+        runner = make_task("runner")
+        sched.charge(runner, 1 * MSEC)
+        ahead = make_task("ahead")
+        ahead.vruntime = sched.min_vruntime + 5.0
+        sched.enqueue(ahead, 0, wakeup=True)
+        assert ahead.vruntime == pytest.approx(sched.min_vruntime + 5.0)
+
+
+class TestTimeSlice:
+    def test_slice_splits_period_by_weight(self):
+        sched = CFSScheduler()
+        a = make_task("a", weight=1024)
+        b = make_task("b", weight=1024)
+        sched.enqueue(b, 0, wakeup=False)
+        # Two runnable tasks, equal weight: half the latency period each.
+        assert sched.time_slice(a, 0) == pytest.approx(
+            sched.sched_latency_ns / 2
+        )
+
+    def test_slice_has_min_granularity_floor(self):
+        sched = CFSScheduler()
+        tasks = [make_task(f"t{i}") for i in range(50)]
+        for t in tasks[1:]:
+            sched.enqueue(t, 0, wakeup=False)
+        assert sched.time_slice(tasks[0], 0) >= sched.min_granularity_ns
+
+    def test_heavier_task_longer_slice(self):
+        sched = CFSScheduler()
+        light = make_task("l", weight=512)
+        heavy = make_task("h", weight=2048)
+        sched.enqueue(light, 0, wakeup=False)
+        assert sched.time_slice(heavy, 0) > sched.time_slice(light, 0)
+
+
+class TestWakeupPreemption:
+    def test_normal_preempts_laggard(self):
+        sched = CFSScheduler()
+        current = make_task("cur")
+        current.vruntime = 10 * MSEC
+        woken = make_task("wok")
+        woken.vruntime = 0.0
+        assert sched.preempts_on_wake(woken, current, 0.0)
+
+    def test_no_preempt_within_granularity(self):
+        sched = CFSScheduler()
+        current = make_task("cur")
+        woken = make_task("wok")
+        woken.vruntime = current.vruntime - sched.wakeup_granularity_ns / 2
+        assert not sched.preempts_on_wake(woken, current, 0.0)
+
+    def test_projection_includes_current_run(self):
+        sched = CFSScheduler()
+        current = make_task("cur")
+        woken = make_task("wok")
+        woken.vruntime = current.vruntime
+        # Without elapsed time, no preempt; with 10ms of un-charged run,
+        # the projection crosses the granularity.
+        assert not sched.preempts_on_wake(woken, current, 0.0)
+        assert sched.preempts_on_wake(woken, current, 10 * MSEC)
+
+    def test_batch_never_preempts_on_wake(self):
+        sched = CFSBatchScheduler()
+        current = make_task("cur")
+        current.vruntime = 100 * MSEC
+        woken = make_task("wok")
+        woken.vruntime = 0.0
+        assert not sched.preempts_on_wake(woken, current, 0.0)
+
+
+def test_batch_has_coarser_granularity():
+    assert CFSBatchScheduler().min_granularity_ns > \
+        CFSScheduler().min_granularity_ns
+
+
+def test_scheduler_names():
+    assert CFSScheduler().name == "NORMAL"
+    assert CFSBatchScheduler().name == "BATCH"

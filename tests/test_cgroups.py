@@ -1,0 +1,52 @@
+"""Unit tests for the cgroup cpu.shares controller."""
+
+import pytest
+
+from repro.sched.base import CoreTask
+from repro.sched.cgroups import CgroupController, MAX_SHARES, MIN_SHARES
+
+
+def test_set_shares_updates_task_weight():
+    ctl = CgroupController()
+    t = CoreTask("nf1")
+    ctl.set_shares(t, 2048)
+    assert t.weight == 2048
+    assert ctl.get_shares(t) == 2048
+
+
+def test_write_counted_and_costed():
+    ctl = CgroupController(sysfs_write_ns=5000.0)
+    t = CoreTask("nf1")
+    ctl.set_shares(t, 2048)
+    ctl.set_shares(t, 4096)
+    assert ctl.writes == 2
+    assert ctl.write_time_ns == pytest.approx(10000.0)
+
+
+def test_identical_value_skips_write():
+    """Re-writing an unchanged weight is a wasted syscall; the Monitor
+    avoids it and so does the model."""
+    ctl = CgroupController()
+    t = CoreTask("nf1")
+    ctl.set_shares(t, 2048)
+    ctl.set_shares(t, 2048)
+    assert ctl.writes == 1
+
+
+def test_clamped_to_kernel_bounds():
+    ctl = CgroupController()
+    t = CoreTask("nf1")
+    assert ctl.set_shares(t, 0) == MIN_SHARES
+    assert ctl.set_shares(t, 10 ** 9) == MAX_SHARES
+
+
+def test_rounding():
+    ctl = CgroupController()
+    t = CoreTask("nf1")
+    assert ctl.set_shares(t, 100.6) == 101
+
+
+def test_get_shares_default_is_task_weight():
+    ctl = CgroupController()
+    t = CoreTask("nf1", weight=777)
+    assert ctl.get_shares(t) == 777

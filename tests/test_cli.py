@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_every_experiment_module_importable_with_main():
+    import importlib
+
+    for name, (module_path, _desc) in EXPERIMENTS.items():
+        module = importlib.import_module(module_path)
+        assert callable(getattr(module, "main")), name
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_experiment(capsys):
+    assert main(["run", "tab05", "--duration", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 5" in out
+
+
+def test_topology_command(tmp_path, capsys):
+    spec = {
+        "nfs": [{"name": "fw", "cycles": 300, "core": 0}],
+        "chains": [{"name": "c", "nfs": ["fw"]}],
+        "flows": [{"id": "f", "chain": "c", "rate_pps": 1e6}],
+    }
+    path = tmp_path / "t.json"
+    path.write_text(json.dumps(spec))
+    assert main(["topology", str(path), "--duration", "0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "tput Mpps" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

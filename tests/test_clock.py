@@ -1,0 +1,44 @@
+"""Unit tests for time units and cycle conversion."""
+
+import pytest
+
+from repro.sim.clock import (
+    CPU_FREQ_HZ,
+    CYCLES_PER_NSEC,
+    MSEC,
+    SEC,
+    USEC,
+    cycles_to_ns,
+    ns_to_cycles,
+)
+
+
+def test_unit_ratios():
+    assert USEC == 1_000
+    assert MSEC == 1_000 * USEC
+    assert SEC == 1_000 * MSEC
+
+
+def test_default_frequency_is_testbed():
+    # Xeon E5-2697 v3 @ 2.60 GHz (paper §4.1).
+    assert CPU_FREQ_HZ == 2_600_000_000
+
+
+def test_cycles_per_nsec():
+    assert CYCLES_PER_NSEC == pytest.approx(2.6)
+
+
+def test_round_trip_conversion():
+    for cycles in (1, 120, 270, 550, 4500, 1e9):
+        assert ns_to_cycles(cycles_to_ns(cycles)) == pytest.approx(cycles)
+
+
+def test_known_conversions():
+    # 2.6 GHz: 2.6 cycles per ns.
+    assert cycles_to_ns(2_600_000_000) == pytest.approx(SEC)
+    assert cycles_to_ns(260) == pytest.approx(100.0)
+    assert ns_to_cycles(1000) == pytest.approx(2600.0)
+
+
+def test_custom_frequency():
+    assert cycles_to_ns(1_000_000_000, freq_hz=1e9) == pytest.approx(SEC)

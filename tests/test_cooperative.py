@@ -1,0 +1,90 @@
+"""Tests for the cooperative (L-thread-style) scheduler."""
+
+import math
+
+import pytest
+
+from repro.sched import make_scheduler
+from repro.sched.base import CoreTask
+from repro.sched.cooperative import CooperativeScheduler
+
+
+def test_factory_aliases():
+    for alias in ("COOP", "cooperative", "LTHREAD"):
+        assert isinstance(make_scheduler(alias), CooperativeScheduler)
+
+
+def test_fifo_order():
+    sched = CooperativeScheduler()
+    tasks = [CoreTask(f"t{i}") for i in range(3)]
+    for t in tasks:
+        sched.enqueue(t, 0, wakeup=True)
+    assert [sched.pick_next(0).name for _ in range(3)] == ["t0", "t1", "t2"]
+
+
+def test_unbounded_quantum():
+    sched = CooperativeScheduler()
+    assert sched.time_slice(CoreTask("t"), 0) == math.inf
+
+
+def test_no_wakeup_preemption():
+    sched = CooperativeScheduler()
+    assert not sched.preempts_on_wake(CoreTask("a"), CoreTask("b"), 1e12)
+
+
+def test_weights_ignored():
+    sched = CooperativeScheduler()
+    t = CoreTask("t", weight=4096)
+    sched.charge(t, 1e9)
+    assert t.vruntime == 0.0
+
+
+def test_double_enqueue_rejected():
+    sched = CooperativeScheduler()
+    t = CoreTask("t")
+    sched.enqueue(t, 0, wakeup=True)
+    with pytest.raises(RuntimeError):
+        sched.enqueue(t, 0, wakeup=True)
+
+
+def test_dequeue():
+    sched = CooperativeScheduler()
+    a, b = CoreTask("a"), CoreTask("b")
+    sched.enqueue(a, 0, wakeup=True)
+    sched.enqueue(b, 0, wakeup=True)
+    sched.dequeue(a, 0)
+    assert sched.nr_ready == 1
+
+
+class TestPaperDrawbacks:
+    def test_misbehaving_nf_starves_cooperative_core(self):
+        from repro.experiments.cooperative_comparison import run_misbehaving
+
+        coop = run_misbehaving("COOP", duration_s=0.4)
+        cfs = run_misbehaving("NORMAL", duration_s=0.4)
+        assert coop.chain("chain").throughput_pps == 0
+        assert coop.nf("spinner").cpu_share > 0.99
+        assert cfs.chain("chain").throughput_pps > 1e6
+
+    def test_no_selective_prioritisation(self):
+        from repro.experiments.cooperative_comparison import (
+            run_prioritisation)
+
+        coop = run_prioritisation("COOP", duration_s=0.4)
+        cfs = run_prioritisation("NORMAL", duration_s=0.4)
+        coop_ratio = (coop.chain("light").throughput_pps + 1) / \
+            (coop.chain("heavy").throughput_pps + 1)
+        cfs_ratio = cfs.chain("light").throughput_pps / \
+            cfs.chain("heavy").throughput_pps
+        # CFS+weights equalise the flows; COOP cannot.
+        assert cfs_ratio == pytest.approx(1.0, rel=0.15)
+        assert coop_ratio < 0.5 or coop_ratio > 2.0
+
+    def test_backpressure_composes_with_cooperative_threads(self):
+        from repro.experiments.cooperative_comparison import (
+            run_backpressure_compose)
+
+        plain = run_backpressure_compose("COOP", "Default", duration_s=0.4)
+        bkpr = run_backpressure_compose("COOP", "OnlyBKPR", duration_s=0.4)
+        assert bkpr.total_wasted_pps < plain.total_wasted_pps / 10
+        assert bkpr.total_throughput_pps >= plain.total_throughput_pps

@@ -1,0 +1,131 @@
+"""Unit tests for the discrete-event loop."""
+
+import pytest
+
+from repro.sim.engine import EventLoop
+
+
+class TestScheduling:
+    def test_starts_at_zero(self, loop):
+        assert loop.now == 0
+        assert loop.pending == 0
+
+    def test_schedule_and_step(self, loop):
+        fired = []
+        loop.schedule(100, lambda: fired.append(loop.now))
+        assert loop.pending == 1
+        assert loop.step()
+        assert fired == [100]
+        assert loop.now == 100
+        assert loop.pending == 0
+
+    def test_call_at_absolute_time(self, loop):
+        fired = []
+        loop.call_at(500, lambda: fired.append(loop.now))
+        loop.run_until(1000)
+        assert fired == [500]
+
+    def test_negative_delay_rejected(self, loop):
+        with pytest.raises(ValueError):
+            loop.schedule(-1, lambda: None)
+
+    def test_past_call_at_clamped_to_now(self, loop):
+        loop.run_until(100)
+        fired = []
+        loop.call_at(50, lambda: fired.append(loop.now))
+        loop.run_until(101)
+        assert fired == [100]
+
+    def test_fractional_time_rounds_up(self, loop):
+        handle = loop.schedule(10.2, lambda: None)
+        assert handle.time == 11
+
+    def test_events_fire_in_time_order(self, loop):
+        order = []
+        loop.schedule(300, lambda: order.append(3))
+        loop.schedule(100, lambda: order.append(1))
+        loop.schedule(200, lambda: order.append(2))
+        loop.run()
+        assert order == [1, 2, 3]
+
+    def test_same_time_fifo_order(self, loop):
+        order = []
+        for i in range(5):
+            loop.schedule(100, (lambda v: lambda: order.append(v))(i))
+        loop.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_event_can_schedule_more_events(self, loop):
+        fired = []
+
+        def chain():
+            fired.append(loop.now)
+            if len(fired) < 3:
+                loop.schedule(10, chain)
+
+        loop.schedule(10, chain)
+        loop.run()
+        assert fired == [10, 20, 30]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, loop):
+        fired = []
+        handle = loop.schedule(100, lambda: fired.append(1))
+        handle.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, loop):
+        handle = loop.schedule(100, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert loop.pending == 0
+
+    def test_cancel_updates_pending_count(self, loop):
+        handles = [loop.schedule(100 + i, lambda: None) for i in range(10)]
+        assert loop.pending == 10
+        for h in handles[:4]:
+            h.cancel()
+        assert loop.pending == 6
+
+    def test_cancel_one_of_two_same_time(self, loop):
+        fired = []
+        h1 = loop.schedule(100, lambda: fired.append(1))
+        loop.schedule(100, lambda: fired.append(2))
+        h1.cancel()
+        loop.run()
+        assert fired == [2]
+
+
+class TestRunUntil:
+    def test_clock_advances_to_horizon(self, loop):
+        loop.run_until(12345)
+        assert loop.now == 12345
+
+    def test_event_at_horizon_fires(self, loop):
+        fired = []
+        loop.schedule(100, lambda: fired.append(1))
+        loop.run_until(100)
+        assert fired == [1]
+
+    def test_event_after_horizon_does_not_fire(self, loop):
+        fired = []
+        loop.schedule(101, lambda: fired.append(1))
+        loop.run_until(100)
+        assert fired == []
+        assert loop.pending == 1
+
+    def test_run_until_resumable(self, loop):
+        fired = []
+        loop.schedule(150, lambda: fired.append(loop.now))
+        loop.run_until(100)
+        assert fired == []
+        loop.run_until(200)
+        assert fired == [150]
+
+    def test_run_max_events(self, loop):
+        for i in range(10):
+            loop.schedule(i + 1, lambda: None)
+        assert loop.run(max_events=4) == 4
+        assert loop.pending == 6

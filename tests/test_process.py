@@ -1,0 +1,68 @@
+"""Unit tests for periodic processes."""
+
+import pytest
+
+from repro.sim.process import PeriodicProcess
+
+
+def test_fires_on_period(loop):
+    ticks = []
+    proc = PeriodicProcess(loop, 100, lambda: ticks.append(loop.now))
+    proc.start()
+    loop.run_until(350)
+    assert ticks == [100, 200, 300]
+    assert proc.fired == 3
+
+
+def test_stop_halts_firing(loop):
+    ticks = []
+    proc = PeriodicProcess(loop, 100, lambda: ticks.append(loop.now))
+    proc.start()
+    loop.run_until(250)
+    proc.stop()
+    loop.run_until(1000)
+    assert ticks == [100, 200]
+    assert not proc.running
+
+
+def test_start_is_idempotent(loop):
+    ticks = []
+    proc = PeriodicProcess(loop, 100, lambda: ticks.append(loop.now))
+    proc.start()
+    proc.start()
+    loop.run_until(100)
+    assert ticks == [100]
+
+
+def test_restart_after_stop(loop):
+    ticks = []
+    proc = PeriodicProcess(loop, 100, lambda: ticks.append(loop.now))
+    proc.start()
+    loop.run_until(150)
+    proc.stop()
+    loop.run_until(400)
+    proc.start()
+    loop.run_until(600)
+    assert ticks == [100, 500, 600]
+
+
+def test_explicit_start_time(loop):
+    ticks = []
+    proc = PeriodicProcess(loop, 100, lambda: ticks.append(loop.now))
+    proc.start(start_at=5)
+    loop.run_until(210)
+    assert ticks == [5, 105, 205]
+
+
+def test_callback_may_stop_process(loop):
+    ticks = []
+    proc = PeriodicProcess(loop, 100, lambda: (ticks.append(loop.now),
+                                               proc.stop()))
+    proc.start()
+    loop.run_until(1000)
+    assert ticks == [100]
+
+
+def test_zero_period_rejected(loop):
+    with pytest.raises(ValueError):
+        PeriodicProcess(loop, 0, lambda: None)

@@ -1,0 +1,139 @@
+"""Unit and property tests for the CFS red-black tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.rbtree import BLACK, RED, RBTree
+
+
+def check_rb_invariants(tree: RBTree) -> None:
+    """Root black, no red-red edges, equal black heights, BST order,
+    leftmost pointer correct."""
+
+    def walk(node):
+        if node is None:
+            return 1, None, None
+        if node.color is RED:
+            assert node.parent is None or node.parent.color is BLACK, \
+                "red node with red parent"
+        lb, lmin, lmax = walk(node.left)
+        rb, rmin, rmax = walk(node.right)
+        assert lb == rb, "black-height mismatch"
+        if lmax is not None:
+            assert (lmax.key, lmax.seq) < (node.key, node.seq)
+        if rmin is not None:
+            assert (node.key, node.seq) < (rmin.key, rmin.seq)
+        height = lb + (0 if node.color is RED else 1)
+        return height, (lmin or node), (rmax or node)
+
+    if tree.root is not None:
+        assert tree.root.color is BLACK
+        _, leftmost, _ = walk(tree.root)
+        assert tree.min_node() is leftmost
+    else:
+        assert tree.min_node() is None
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = RBTree()
+        assert len(tree) == 0
+        assert tree.min_node() is None
+        assert tree.min_key() is None
+        assert tree.pop_min() is None
+
+    def test_single_insert(self):
+        tree = RBTree()
+        tree.insert(5.0, "a")
+        assert len(tree) == 1
+        assert tree.min_key() == 5.0
+        check_rb_invariants(tree)
+
+    def test_pop_min_returns_smallest(self):
+        tree = RBTree()
+        for key in (5, 1, 9, 3, 7):
+            tree.insert(key, key)
+        assert tree.pop_min() == 1
+        assert tree.pop_min() == 3
+        assert len(tree) == 3
+        check_rb_invariants(tree)
+
+    def test_duplicate_keys_fifo(self):
+        tree = RBTree()
+        tree.insert(1.0, "first")
+        tree.insert(1.0, "second")
+        assert tree.pop_min() == "first"
+        assert tree.pop_min() == "second"
+
+    def test_remove_specific_node(self):
+        tree = RBTree()
+        nodes = {k: tree.insert(k, k) for k in (4, 2, 6, 1, 3, 5, 7)}
+        tree.remove(nodes[4])
+        assert len(tree) == 6
+        assert [k for k, _ in tree.items()] == [1, 2, 3, 5, 6, 7]
+        check_rb_invariants(tree)
+
+    def test_remove_leftmost_updates_min(self):
+        tree = RBTree()
+        nodes = {k: tree.insert(k, k) for k in (3, 1, 2)}
+        tree.remove(nodes[1])
+        assert tree.min_key() == 2
+        check_rb_invariants(tree)
+
+    def test_items_in_order(self):
+        tree = RBTree()
+        for k in (9, 1, 8, 2, 7, 3):
+            tree.insert(k, k)
+        assert [k for k, _ in tree.items()] == [1, 2, 3, 7, 8, 9]
+
+    def test_ascending_insertions(self):
+        tree = RBTree()
+        for k in range(100):
+            tree.insert(k, k)
+            check_rb_invariants(tree)
+        assert len(tree) == 100
+
+    def test_descending_insertions(self):
+        tree = RBTree()
+        for k in reversed(range(100)):
+            tree.insert(k, k)
+        check_rb_invariants(tree)
+        assert tree.min_key() == 0
+
+
+@given(st.lists(st.tuples(st.sampled_from(["ins", "del"]),
+                          st.integers(0, 30)), max_size=120))
+@settings(max_examples=150, deadline=None)
+def test_random_operations_preserve_invariants(ops):
+    """Any interleaving of inserts and deletes keeps RB properties and
+    matches a sorted-list reference model."""
+    tree = RBTree()
+    nodes = []
+    reference = []
+    for op, key in ops:
+        if op == "ins" or not nodes:
+            node = tree.insert(key, key)
+            nodes.append(node)
+            reference.append(key)
+        else:
+            idx = key % len(nodes)
+            node = nodes.pop(idx)
+            tree.remove(node)
+            reference.remove(node.key)
+        assert len(tree) == len(reference)
+        check_rb_invariants(tree)
+        assert [k for k, _ in tree.items()] == sorted(reference)
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=32), min_size=1, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_pop_min_yields_sorted_sequence(keys):
+    tree = RBTree()
+    for k in keys:
+        tree.insert(k, k)
+    popped = []
+    while len(tree):
+        popped.append(tree.pop_min())
+    assert popped == sorted(keys)

@@ -1,0 +1,86 @@
+"""Unit tests for the SCHED_RR model."""
+
+import pytest
+
+from repro.sched.base import CoreTask
+from repro.sched.rr import RRScheduler
+from repro.sim.clock import MSEC
+
+
+def test_fifo_rotation():
+    sched = RRScheduler(quantum_ns=MSEC)
+    tasks = [CoreTask(f"t{i}") for i in range(3)]
+    for t in tasks:
+        sched.enqueue(t, 0, wakeup=True)
+    order = [sched.pick_next(0).name for _ in range(3)]
+    assert order == ["t0", "t1", "t2"]
+
+
+def test_requeue_goes_to_tail():
+    sched = RRScheduler()
+    a, b = CoreTask("a"), CoreTask("b")
+    sched.enqueue(a, 0, wakeup=True)
+    sched.enqueue(b, 0, wakeup=True)
+    first = sched.pick_next(0)
+    sched.enqueue(first, 0, wakeup=False)
+    assert sched.pick_next(0) is b
+    assert sched.pick_next(0) is a
+
+
+def test_fixed_quantum_ignores_weight():
+    sched = RRScheduler(quantum_ns=100 * MSEC)
+    light = CoreTask("l", weight=1)
+    heavy = CoreTask("h", weight=100000)
+    assert sched.time_slice(light, 0) == sched.time_slice(heavy, 0) \
+        == 100 * MSEC
+
+
+def test_charge_keeps_no_vruntime():
+    sched = RRScheduler()
+    t = CoreTask("t")
+    sched.charge(t, 12345.0)
+    assert t.vruntime == 0.0
+
+
+def test_never_preempts_on_wake():
+    sched = RRScheduler()
+    assert not sched.preempts_on_wake(CoreTask("a"), CoreTask("b"), 1e9)
+
+
+def test_dequeue():
+    sched = RRScheduler()
+    a, b = CoreTask("a"), CoreTask("b")
+    sched.enqueue(a, 0, wakeup=True)
+    sched.enqueue(b, 0, wakeup=True)
+    sched.dequeue(a, 0)
+    assert sched.nr_ready == 1
+    assert sched.pick_next(0) is b
+
+
+def test_double_enqueue_rejected():
+    sched = RRScheduler()
+    a = CoreTask("a")
+    sched.enqueue(a, 0, wakeup=True)
+    with pytest.raises(RuntimeError):
+        sched.enqueue(a, 0, wakeup=True)
+
+
+def test_invalid_quantum():
+    with pytest.raises(ValueError):
+        RRScheduler(quantum_ns=0)
+
+
+def test_label():
+    assert RRScheduler(quantum_ns=MSEC).name == "RR(1ms)"
+    assert RRScheduler(quantum_ns=100 * MSEC).name == "RR(100ms)"
+
+
+def test_factory_names():
+    from repro.sched import make_scheduler
+
+    assert make_scheduler("rr_1ms").quantum_ns == MSEC
+    assert make_scheduler("RR_100MS").quantum_ns == 100 * MSEC
+    assert make_scheduler("NORMAL").name == "NORMAL"
+    assert make_scheduler("batch").name == "BATCH"
+    with pytest.raises(ValueError):
+        make_scheduler("FIFO")

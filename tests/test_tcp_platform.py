@@ -1,0 +1,99 @@
+"""TCP + platform integration: closed-loop congestion control end to end."""
+
+import pytest
+
+from repro.experiments.common import Scenario
+from repro.sim.clock import MSEC, SEC
+from repro.traffic.tcp import TCPFlow
+
+
+def tcp_scenario(features: str, bottleneck_cycles: float = 8000,
+                 ecn: bool = False, max_cwnd: float = 2000.0):
+    scenario = Scenario(scheduler="NORMAL", features=features,
+                        enable_ecn=ecn)
+    scenario.add_nf("fwd", 300, core=0)
+    scenario.add_nf("heavy", bottleneck_cycles, core=1)
+    scenario.add_chain("chain", ["fwd", "heavy"])
+    flow = scenario.add_flow("tcp", "chain", rate_pps=1.0, pkt_size=1500,
+                             protocol="tcp")
+    tcp = TCPFlow(scenario.loop, scenario.generator.specs[-1],
+                  rtt_ns=1 * MSEC, max_cwnd=max_cwnd)
+    tcp.start()
+    return scenario, flow, tcp
+
+
+class TestClosedLoop:
+    def test_tcp_converges_near_bottleneck_rate(self):
+        scenario, flow, tcp = tcp_scenario("Default")
+        scenario.run(3.0)
+        # Bottleneck: 2.6e9/(8000+100) cycles ~ 321 kpps ~ 3.85 Gbps.
+        bottleneck_pps = scenario.config.cpu_freq_hz / 8100
+        delivered_pps = flow.stats.delivered / 3.0
+        assert delivered_pps == pytest.approx(bottleneck_pps, rel=0.35)
+
+    def test_unconstrained_tcp_reaches_cwnd_limit(self):
+        scenario, flow, tcp = tcp_scenario("Default",
+                                           bottleneck_cycles=500,
+                                           max_cwnd=100.0)
+        scenario.run(2.0)
+        # 100 pkts / 1 ms RTT = 100 kpps, far below the path capacity.
+        assert flow.stats.lost == 0
+        assert flow.stats.delivered / 2.0 == pytest.approx(1e5, rel=0.1)
+
+    def test_losses_cut_cwnd_in_closed_loop(self):
+        scenario, flow, tcp = tcp_scenario("Default")
+        scenario.run(3.0)
+        assert flow.stats.lost > 0
+        assert tcp.decreases > 0
+        assert tcp.cwnd < 2000.0
+
+    def test_ecn_closed_loop_replaces_losses_with_marks(self):
+        plain_s, plain_f, plain_t = tcp_scenario("Default", ecn=False)
+        plain_s.run(3.0)
+        ecn_s, ecn_f, ecn_t = tcp_scenario("Default", ecn=True)
+        ecn_s.run(3.0)
+        assert ecn_f.stats.ecn_marks > 0
+        assert ecn_f.stats.lost < max(1, plain_f.stats.lost) / 4
+
+    def test_backpressure_entry_discards_count_as_tcp_loss(self):
+        """NFVnice throttling a TCP chain registers as loss feedback, so
+        the sender backs off rather than hammering a throttled entry."""
+        scenario, flow, tcp = tcp_scenario("NFVnice")
+        scenario.run(3.0)
+        delivered_pps = flow.stats.delivered / 3.0
+        bottleneck_pps = scenario.config.cpu_freq_hz / 8100
+        # The sender stabilises; it does not sit at max_cwnd (2 Mpps-scale).
+        assert tcp.cwnd < 2000.0
+        assert delivered_pps <= bottleneck_pps * 1.05
+
+
+class TestMonitorConvergenceInPlatform:
+    def test_weights_track_cost_ratio_in_live_run(self):
+        scenario = Scenario(scheduler="BATCH", features="NFVnice",
+                            num_rx_threads=2)
+        scenario.add_nf("light", 500, core=0)
+        scenario.add_nf("heavy", 2000, core=0)
+        scenario.add_chain("l", ["light"])
+        scenario.add_chain("h", ["heavy"])
+        scenario.add_flow("fl", "l", rate_pps=3e6)
+        scenario.add_flow("fh", "h", rate_pps=3e6)
+        scenario.run(1.0)
+        light = scenario.manager.nf_by_name("light")
+        heavy = scenario.manager.nf_by_name("heavy")
+        # Equal arrival, 1:~3.5 effective cost ratio (incl. overhead).
+        ratio = heavy.weight / light.weight
+        expected = (2000 + 100) / (500 + 100)
+        assert ratio == pytest.approx(expected, rel=0.25)
+
+    def test_weight_updates_happen_on_configured_period(self):
+        scenario = Scenario(scheduler="BATCH", features="NFVnice")
+        scenario.add_nf("nf", 500, core=0)
+        scenario.add_chain("c", ["nf"])
+        scenario.add_flow("f", "c", rate_pps=1e6)
+        scenario.run(0.5)
+        monitor = scenario.manager.monitor
+        assert monitor is not None
+        series = monitor.share_series["nf"]
+        if len(series) >= 2:
+            gaps = [b - a for a, b in zip(series.times, series.times[1:])]
+            assert min(gaps) >= scenario.config.weight_update_ns

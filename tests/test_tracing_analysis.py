@@ -1,0 +1,195 @@
+"""Tests for the scheduler tracer and the analysis helpers."""
+
+import json
+
+import pytest
+
+from repro.analysis.compare import compare_results
+from repro.analysis.export import (
+    load_result_dict,
+    result_to_dict,
+    save_result,
+    series_from_dict,
+)
+from repro.analysis.sparkline import render_series, sparkline
+from repro.experiments.common import Scenario, build_linear_chain
+from repro.metrics.timeseries import TimeSeries
+from repro.sched.tracing import DISPATCH, SWITCH_OUT, WAKE, SchedTracer
+from repro.sim.clock import MSEC, SEC
+
+
+def small_result(features="NFVnice"):
+    scenario = Scenario(scheduler="BATCH", features=features)
+    build_linear_chain(scenario, (120, 550), core=0)
+    scenario.add_flow("f", "chain", line_rate_fraction=0.5)
+    return scenario.run(0.2)
+
+
+class TestSchedTracer:
+    def _traced_run(self):
+        scenario = Scenario(scheduler="BATCH", features="NFVnice")
+        build_linear_chain(scenario, (120, 550), core=0)
+        scenario.add_flow("f", "chain", line_rate_fraction=0.5)
+        tracer = SchedTracer()
+        scenario.manager.core(0).tracer = tracer
+        scenario.run(0.1)
+        return tracer, scenario
+
+    def test_records_all_event_kinds(self):
+        tracer, _ = self._traced_run()
+        kinds = {ev.kind for ev in tracer.events}
+        assert {WAKE, DISPATCH, SWITCH_OUT} <= kinds
+        assert len(tracer) > 10
+
+    def test_runs_are_well_formed(self):
+        tracer, _ = self._traced_run()
+        runs = tracer.runs(core_id=0)
+        assert runs
+        for task, start, end, reason in runs:
+            assert end >= start
+            assert reason  # every close carries an outcome
+
+    def test_traced_runtime_matches_task_accounting(self):
+        tracer, scenario = self._traced_run()
+        traced = tracer.runtime_by_task(core_id=0)
+        for nf in scenario.manager.nfs:
+            if nf.name in traced:
+                # Traced wall intervals include context-switch overhead at
+                # dispatch; allow a coarse tolerance.
+                assert traced[nf.name] == pytest.approx(
+                    nf.stats.runtime_ns, rel=0.2)
+
+    def test_timeline_renders(self):
+        tracer, _ = self._traced_run()
+        art = tracer.render_timeline(0, int(0.1 * SEC), bucket_ns=5 * MSEC)
+        lines = art.splitlines()
+        assert lines
+        for line in lines:
+            assert "|" in line
+
+    def test_timeline_validation(self):
+        tracer = SchedTracer()
+        with pytest.raises(ValueError):
+            tracer.render_timeline(10, 10)
+
+    def test_event_cap(self):
+        tracer = SchedTracer(max_events=3)
+        for i in range(5):
+            tracer.record(i, 0, WAKE, "t")
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+
+    def test_counts(self):
+        tracer = SchedTracer()
+        tracer.record(0, 0, WAKE, "a")
+        tracer.record(1, 0, WAKE, "a")
+        tracer.record(2, 0, DISPATCH, "a")
+        assert tracer.counts() == {("a", WAKE): 2, ("a", DISPATCH): 1}
+
+
+class TestExport:
+    def test_round_trip(self, tmp_path):
+        result = small_result()
+        path = save_result(result, tmp_path / "r.json")
+        data = load_result_dict(path)
+        assert data["scheduler"] == "BATCH"
+        assert data["chains"]["chain"]["completed"] == \
+            result.chain("chain").completed
+        assert "series" in data
+
+    def test_series_round_trip(self, tmp_path):
+        result = small_result()
+        data = result_to_dict(result)
+        name = next(iter(data["series"]))
+        ts = series_from_dict(data["series"][name], name)
+        assert isinstance(ts, TimeSeries)
+        assert list(ts.values) == data["series"][name]["values"]
+
+    def test_without_series(self):
+        data = result_to_dict(small_result(), include_series=False)
+        assert "series" not in data
+        json.dumps(data)  # fully JSON-serialisable
+
+
+class TestCompare:
+    def test_comparison_table(self):
+        base = small_result("Default")
+        cand = small_result("NFVnice")
+        table = compare_results(base, cand, "Default", "NFVnice")
+        assert "total throughput" in table
+        assert "NFVnice vs Default" in table
+        assert "x" in table  # ratios rendered
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        out = sparkline([5, 5, 5])
+        assert len(out) == 3
+        assert len(set(out)) == 1
+
+    def test_monotone_ramp(self):
+        out = sparkline(list(range(9)))
+        assert out[0] <= out[-1]
+        assert len(out) == 9
+
+    def test_shared_scale(self):
+        a = sparkline([0, 10], lo=0, hi=100)
+        b = sparkline([0, 100], lo=0, hi=100)
+        assert a[-1] < b[-1]
+
+    def test_render_series_resamples(self):
+        ts = TimeSeries("x")
+        for t in range(200):
+            ts.append(t, float(t % 17))
+        out = render_series(ts, "load", width=40)
+        assert out.startswith("load: [")
+        assert "min=" in out and "max=" in out
+
+
+class TestPriorityExperiment:
+    def test_gold_nf_gets_double_service(self):
+        from repro.experiments.priority_differentiation import run_case
+
+        res = run_case("NFVnice", duration_s=0.5)
+        gold = res.chain("gold").throughput_pps
+        be = res.chain("best-effort").throughput_pps
+        assert gold / be == pytest.approx(2.0, rel=0.2)
+
+    def test_default_ignores_priority(self):
+        from repro.experiments.priority_differentiation import run_case
+
+        res = run_case("Default", duration_s=0.5)
+        gold = res.chain("gold").throughput_pps
+        be = res.chain("best-effort").throughput_pps
+        assert gold / be == pytest.approx(1.0, rel=0.1)
+
+
+class TestWeightChangeAccounting:
+    def test_weight_rewrite_on_queued_task_keeps_cfs_consistent(self):
+        """Regression: a cgroup write landing while the task is queued must
+        not corrupt the scheduler's aggregate ready weight."""
+        from repro.sched.base import CoreTask
+        from repro.sched.cfs import CFSScheduler
+        from repro.sched.core import Core
+        from repro.sim.engine import EventLoop
+
+        loop = EventLoop()
+        core = Core(loop, CFSScheduler())
+        a, b = CoreTask("a"), CoreTask("b")
+        # CoreTask is abstract for execution; weight accounting only needs
+        # runqueue membership.
+        core.add_task(a)
+        core.add_task(b)
+        sched = core.scheduler
+        sched.enqueue(a, 0, wakeup=False)
+        sched.enqueue(b, 0, wakeup=False)
+        a.weight = 4096
+        b.weight = 2
+        total = sched._ready_weight
+        assert total == 4096 + 2
+        sched.dequeue(a, 0)
+        sched.dequeue(b, 0)
+        assert sched._ready_weight == 0

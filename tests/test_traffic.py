@@ -1,0 +1,154 @@
+"""Tests for flow specs, the traffic generator and the TCP model."""
+
+import numpy as np
+import pytest
+
+from repro.platform.nic import NIC, line_rate_pps
+from repro.platform.packet import Flow
+from repro.sim.clock import MSEC, SEC, USEC
+from repro.traffic.flows import FlowSpec
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.tcp import TCPFlow
+
+
+class TestFlowSpec:
+    def test_active_window(self):
+        spec = FlowSpec(Flow("f"), 1000, start_ns=100, stop_ns=200)
+        assert not spec.active(99)
+        assert spec.active(100)
+        assert spec.active(199)
+        assert not spec.active(200)
+
+    def test_always_active_without_stop(self):
+        spec = FlowSpec(Flow("f"), 1000)
+        assert spec.active(10 ** 15)
+
+    def test_cbr_exact_long_run(self):
+        spec = FlowSpec(Flow("f"), rate_pps=333_333.0)
+        total = sum(spec.packets_this_tick(100 * USEC) for _ in range(10_000))
+        assert total == pytest.approx(333_333.0, rel=1e-3)
+
+    def test_cbr_carry_fractional(self):
+        spec = FlowSpec(Flow("f"), rate_pps=5000.0)  # 0.5 pkt per 100us
+        counts = [spec.packets_this_tick(100 * USEC) for _ in range(10)]
+        assert sum(counts) == 5
+        assert set(counts) <= {0, 1}
+
+    def test_poisson_needs_rng(self):
+        spec = FlowSpec(Flow("f"), 1000, pattern="poisson")
+        with pytest.raises(ValueError):
+            spec.packets_this_tick(MSEC)
+        rng = np.random.default_rng(0)
+        total = sum(spec.packets_this_tick(MSEC, rng) for _ in range(5000))
+        assert total == pytest.approx(5000, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowSpec(Flow("f"), -1)
+        with pytest.raises(ValueError):
+            FlowSpec(Flow("f"), 1, pattern="burst")
+
+
+class TestGenerator:
+    def test_offers_to_nic(self, loop):
+        nic = NIC()
+        gen = TrafficGenerator(loop, nic, tick_ns=100 * USEC)
+        f = Flow("f")
+        gen.add_flow(f, rate_pps=1.0e6)
+        gen.start()
+        loop.run_until(10 * MSEC)
+        assert f.stats.offered == pytest.approx(10_000, rel=0.01)
+        assert gen.offered_total == f.stats.offered
+
+    def test_line_rate_split(self, loop):
+        nic = NIC()
+        gen = TrafficGenerator(loop, nic)
+        flows = [Flow(f"f{i}") for i in range(4)]
+        specs = gen.add_line_rate_flows(flows)
+        assert len(specs) == 4
+        total = sum(s.rate_pps for s in specs)
+        assert total == pytest.approx(line_rate_pps(64), rel=1e-6)
+
+    def test_inactive_flow_emits_nothing(self, loop):
+        nic = NIC()
+        gen = TrafficGenerator(loop, nic, tick_ns=100 * USEC)
+        f = Flow("f")
+        gen.add_flow(f, rate_pps=1e6, start_ns=5 * MSEC)
+        gen.start()
+        loop.run_until(4 * MSEC)
+        assert f.stats.offered == 0
+
+    def test_rate_change_mid_run(self, loop):
+        nic = NIC()
+        gen = TrafficGenerator(loop, nic, tick_ns=100 * USEC)
+        f = Flow("f")
+        spec = gen.add_flow(f, rate_pps=1e6)
+        gen.start()
+        loop.run_until(10 * MSEC)
+        before = f.stats.offered
+        spec.rate_pps = 0.0
+        loop.run_until(20 * MSEC)
+        assert f.stats.offered == before
+
+
+class TestTCP:
+    def _spec(self, loop):
+        f = Flow("t", pkt_size=1500, protocol="tcp")
+        return FlowSpec(f, rate_pps=1.0)
+
+    def test_requires_tcp_flow(self, loop):
+        with pytest.raises(ValueError):
+            TCPFlow(loop, FlowSpec(Flow("u", protocol="udp"), 1.0))
+
+    def test_slow_start_doubles(self, loop):
+        spec = self._spec(loop)
+        tcp = TCPFlow(loop, spec, rtt_ns=MSEC, init_cwnd=2, max_cwnd=1000)
+        tcp.start()
+        loop.run_until(3 * MSEC)
+        assert tcp.cwnd == 16  # 2 -> 4 -> 8 -> 16
+
+    def test_loss_halves_once_per_rtt(self, loop):
+        spec = self._spec(loop)
+        tcp = TCPFlow(loop, spec, rtt_ns=MSEC, init_cwnd=64, max_cwnd=64)
+        tcp.start()
+        spec.flow.stats.queue_drops = 100  # many losses, one RTT
+        loop.run_until(MSEC)
+        assert tcp.cwnd == 32
+        assert tcp.decreases == 1
+
+    def test_ecn_mark_triggers_decrease(self, loop):
+        spec = self._spec(loop)
+        tcp = TCPFlow(loop, spec, rtt_ns=MSEC, init_cwnd=64, max_cwnd=64)
+        tcp.start()
+        tcp.on_ecn_mark(1, 0)
+        loop.run_until(MSEC)
+        assert tcp.cwnd == 32
+
+    def test_congestion_avoidance_additive(self, loop):
+        spec = self._spec(loop)
+        tcp = TCPFlow(loop, spec, rtt_ns=MSEC, init_cwnd=10, max_cwnd=100,
+                      ssthresh=10)
+        tcp.start()
+        loop.run_until(5 * MSEC)
+        assert tcp.cwnd == 15  # +1 per RTT above ssthresh
+
+    def test_cwnd_floor_is_one(self, loop):
+        spec = self._spec(loop)
+        tcp = TCPFlow(loop, spec, rtt_ns=MSEC, init_cwnd=1, max_cwnd=10)
+        tcp.start()
+        for i in range(5):
+            spec.flow.stats.queue_drops += 1
+            loop.run_until((i + 1) * MSEC)
+        assert tcp.cwnd == 1.0
+
+    def test_rate_tracks_cwnd(self, loop):
+        spec = self._spec(loop)
+        tcp = TCPFlow(loop, spec, rtt_ns=MSEC, init_cwnd=100, max_cwnd=100)
+        # 100 packets per 1 ms RTT = 100 kpps.
+        assert spec.rate_pps == pytest.approx(1e5)
+        assert tcp.rate_bps == pytest.approx(1e5 * 1500 * 8)
+
+    def test_flow_backref(self, loop):
+        spec = self._spec(loop)
+        tcp = TCPFlow(loop, spec)
+        assert spec.flow.tcp is tcp
