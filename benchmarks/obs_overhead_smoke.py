@@ -1,0 +1,71 @@
+"""Trace-overhead smoke benchmark: the telemetry layer must be ~free when off.
+
+Runs the same Figure-7-style chain workload twice:
+
+* **disabled** — no bus attached (the default every experiment runs with);
+  each publish site pays exactly one ``is not None`` branch.
+* **enabled-inert** — an :class:`~repro.obs.bus.EventBus` attached with
+  ``record=False`` and no subscribers.  Such a bus is ``active=False``,
+  so publish sites must skip it with one extra attribute read — this
+  variant verifies the attached-but-inert path stays allocation-free.
+
+Fails (exit 1) if enabling the bus slows the workload by more than
+``THRESHOLD`` (5%) beyond the measurement noise floor, so CI catches any
+change that puts real work on the disabled fast path or makes publishes
+disproportionately expensive.  Wall-clock noise is tamed by taking the
+best of ``ROUNDS`` alternating runs of each variant.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/obs_overhead_smoke.py
+"""
+
+import sys
+import time
+
+from repro.experiments.common import Scenario, build_linear_chain
+from repro.obs.bus import EventBus
+
+THRESHOLD = 0.05
+ROUNDS = 3
+DURATION_S = 0.05
+
+
+def run_workload(attach_bus: bool) -> float:
+    """One seeded chain run; returns wall seconds spent simulating."""
+    scenario = Scenario(scheduler="BATCH", features="NFVnice", seed=0)
+    build_linear_chain(scenario, (120, 270, 550), core=0)
+    scenario.add_flow("f", "chain", line_rate_fraction=1.0)
+    if attach_bus:
+        bus = EventBus(scenario.loop, record=False)
+        scenario.manager.attach_observability(bus=bus)
+    t0 = time.perf_counter()
+    scenario.run(DURATION_S)
+    return time.perf_counter() - t0
+
+
+def main() -> int:
+    # Warm-up: import costs, allocator pools, branch caches.
+    run_workload(False)
+    run_workload(True)
+    disabled = []
+    enabled = []
+    for _ in range(ROUNDS):
+        disabled.append(run_workload(False))
+        enabled.append(run_workload(True))
+    best_off, best_on = min(disabled), min(enabled)
+    overhead = (best_on - best_off) / best_off
+    print(f"observability disabled: best of {ROUNDS}  {best_off * 1e3:8.1f} ms")
+    print(f"observability enabled:  best of {ROUNDS}  {best_on * 1e3:8.1f} ms")
+    print(f"enable overhead: {overhead * 100:+.1f}% (threshold "
+          f"{THRESHOLD * 100:.0f}%)")
+    if overhead > THRESHOLD:
+        print("FAIL: enabling the event bus exceeds the overhead budget",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

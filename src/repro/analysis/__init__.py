@@ -10,13 +10,21 @@
 """
 
 from repro.analysis.compare import compare_results
-from repro.analysis.export import result_to_dict, save_result, load_result_dict
+from repro.analysis.export import (
+    load_result,
+    load_result_dict,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
 from repro.analysis.sparkline import sparkline, render_series
 
 __all__ = [
     "compare_results",
     "result_to_dict",
+    "result_from_dict",
     "save_result",
+    "load_result",
     "load_result_dict",
     "sparkline",
     "render_series",

@@ -14,7 +14,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Union
 
-from repro.experiments.common import ScenarioResult
+from repro.experiments.common import ChainSummary, NFSummary, ScenarioResult
 from repro.metrics.timeseries import TimeSeries
 
 
@@ -25,6 +25,7 @@ def result_to_dict(result: ScenarioResult,
         "scheduler": result.scheduler,
         "features": result.features,
         "duration_s": result.duration_s,
+        "sched_trace_dropped": result.sched_trace_dropped,
         "total_throughput_pps": result.total_throughput_pps,
         "total_wasted_pps": result.total_wasted_pps,
         "total_entry_discard_pps": result.total_entry_discard_pps,
@@ -66,3 +67,39 @@ def series_from_dict(data: Dict[str, Any], name: str = "") -> TimeSeries:
     for t, v in zip(data["times"], data["values"]):
         ts.append(int(t), float(v))
     return ts
+
+
+def result_from_dict(data: Dict[str, Any]) -> ScenarioResult:
+    """Rebuild a live :class:`ScenarioResult` from its exported form.
+
+    Inverse of :func:`result_to_dict`: ``result_from_dict(result_to_dict(r))``
+    compares equal field-by-field (time series included when exported).
+    """
+    chains = {
+        name: ChainSummary(**{**c, "tput_series": tuple(c["tput_series"])})
+        for name, c in data.get("chains", {}).items()
+    }
+    nfs = {name: NFSummary(**n) for name, n in data.get("nfs", {}).items()}
+    series = {
+        name: series_from_dict(s, name)
+        for name, s in data.get("series", {}).items()
+    }
+    return ScenarioResult(
+        scheduler=data["scheduler"],
+        features=data["features"],
+        duration_s=data["duration_s"],
+        total_throughput_pps=data["total_throughput_pps"],
+        total_wasted_pps=data["total_wasted_pps"],
+        total_entry_discard_pps=data["total_entry_discard_pps"],
+        chains=chains,
+        nfs=nfs,
+        core_utilization={int(k): v
+                          for k, v in data.get("core_utilization", {}).items()},
+        series=series,
+        sched_trace_dropped=int(data.get("sched_trace_dropped", 0)),
+    )
+
+
+def load_result(path: Union[str, Path]) -> ScenarioResult:
+    """Read a saved result back as a live :class:`ScenarioResult`."""
+    return result_from_dict(load_result_dict(path))

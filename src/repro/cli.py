@@ -82,7 +82,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.duration is not None:
         kwargs["duration_s"] = args.duration
-    print(module.main(**kwargs))
+
+    if args.span_sample_rate < 1:
+        print("--span-sample-rate must be a positive integer "
+              f"(got {args.span_sample_rate})", file=sys.stderr)
+        return 2
+    session = None
+    if args.trace is not None or args.metrics_out is not None:
+        from repro.obs.session import (
+            ObsSession, activate_session, deactivate_session,
+        )
+        session = ObsSession(
+            trace_path=args.trace,
+            metrics_path=args.metrics_out,
+            span_sample_rate=args.span_sample_rate,
+        )
+        activate_session(session)
+    try:
+        print(module.main(**kwargs))
+    finally:
+        if session is not None:
+            deactivate_session()
+            summary = session.finalize()
+            if summary:
+                print(summary)
     return 0
 
 
@@ -123,6 +146,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--duration", type=float, default=None,
                      help="simulated seconds per case (experiment default "
                           "if omitted)")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="write a Chrome/Perfetto trace-event JSON of "
+                          "scheduler, ring, backpressure, ECN and wakeup "
+                          "activity to PATH")
+    run.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write Prometheus text-format metrics to PATH")
+    run.add_argument("--span-sample-rate", type=int, default=64, metavar="N",
+                     help="record one packet-lifecycle span per N packets "
+                          "(with --trace/--metrics-out; default 64)")
     run.set_defaults(func=_cmd_run)
 
     topo = sub.add_parser("topology", help="run a declarative JSON topology")

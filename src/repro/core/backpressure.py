@@ -23,7 +23,7 @@ serving chain 1 while chain 2 is throttled).
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Set, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.core.nf import NFProcess
 from repro.platform.config import PlatformConfig
@@ -47,11 +47,17 @@ class BackpressureController:
     def __init__(self, config: Optional[PlatformConfig] = None):
         self.config = config if config is not None else PlatformConfig()
         self._state: Dict[str, BackpressureState] = {}
-        self._watch: Set[NFProcess] = set()
+        # Insertion-ordered (dict-as-set): a plain ``set`` of NF objects
+        # iterates in id-hash order, which varies run to run and made the
+        # evaluate() scan — and thus event ordering and relinquish
+        # decisions — nondeterministic under identical seeds.
+        self._watch: Dict[str, NFProcess] = {}
         self._throttling: Dict[str, List["ServiceChain"]] = {}
         # Counters
         self.throttle_events = 0
         self.clear_events = 0
+        #: Optional :class:`repro.obs.bus.EventBus` (wired by the manager).
+        self.bus = None
 
     # ------------------------------------------------------------------
     # Detection path (called by Tx/Rx threads on watermark feedback)
@@ -60,7 +66,10 @@ class BackpressureController:
         """Enqueue feedback crossed the high watermark: add to watch list."""
         if self.state_of(nf) is BackpressureState.OFF:
             self._state[nf.name] = BackpressureState.WATCH
-            self._watch.add(nf)
+            self._watch[nf.name] = nf
+            if self.bus is not None and self.bus.active:
+                self.bus.publish("bp.watch", nf.name,
+                                 depth=len(nf.rx_ring))
 
     def state_of(self, nf: NFProcess) -> BackpressureState:
         return self._state.get(nf.name, BackpressureState.OFF)
@@ -72,13 +81,13 @@ class BackpressureController:
         """Advance the Figure 4 state machine for every watched NF."""
         if not self._watch:
             return
-        for nf in list(self._watch):
+        for nf in list(self._watch.values()):
             state = self.state_of(nf)
             ring = nf.rx_ring
             if state is BackpressureState.WATCH:
                 if ring.below_low:
                     self._state[nf.name] = BackpressureState.OFF
-                    self._watch.discard(nf)
+                    self._watch.pop(nf.name, None)
                 elif (
                     ring.above_high
                     and ring.head_wait_ns(now_ns)
@@ -119,6 +128,10 @@ class BackpressureController:
                             affected.append(sibling)
         self._throttling[nf.name] = affected
         self.throttle_events += 1
+        if self.bus is not None and self.bus.active:
+            self.bus.publish("bp.throttle", nf.name,
+                             chains=[c.name for c in affected],
+                             depth=len(nf.rx_ring))
         if self.config.enable_relinquish:
             for chain in affected:
                 # Collateral (chain-agnostic) chains may not contain nf;
@@ -144,13 +157,17 @@ class BackpressureController:
     def _clear(self, nf: NFProcess) -> None:
         """Queue drained below the low watermark: lift the throttle."""
         self._state[nf.name] = BackpressureState.OFF
-        self._watch.discard(nf)
+        self._watch.pop(nf.name, None)
         affected = self._throttling.pop(nf.name, [])
         for chain in affected:
             if chain.throttle_cause is nf:
                 chain.throttled = False
                 chain.throttle_cause = None
         self.clear_events += 1
+        if self.bus is not None and self.bus.active:
+            self.bus.publish("bp.clear", nf.name,
+                             chains=[c.name for c in affected],
+                             depth=len(nf.rx_ring))
         for chain in affected:
             if chain.name not in nf.chain_positions:
                 continue
@@ -170,6 +187,8 @@ class BackpressureController:
         if should == nf.relinquish:
             return
         nf.relinquish = should
+        if self.bus is not None and self.bus.active:
+            self.bus.publish("bp.relinquish", nf.name, on=should)
         core = nf.core
         if core is None:
             return

@@ -80,12 +80,15 @@ class CallbackNF(NFProcess):
         self.api = LibnfAPI(self, disk)
         self.dropped_by_handler = 0
 
-    def _forward(self, segments, now_ns: int) -> bool:
+    def _forward(self, segments, now_ns: int,
+                 svc_ns_per_pkt: float = 0.0) -> bool:
         io_full = False
         for seg in segments:
             wait = now_ns - seg.enqueue_ns
             if wait >= 0:
                 self.latency_hist.add(wait)
+            if seg.span is not None:
+                seg.span.record_hop(self.name, max(0, wait), svc_ns_per_pkt)
             self.processed_packets += seg.count
             chain = seg.flow.chain
             if chain is not None:
@@ -102,5 +105,5 @@ class CallbackNF(NFProcess):
                     io_full = True
             if keep > 0:
                 self.tx_ring.enqueue(seg.flow, keep, now_ns,
-                                     origin_ns=seg.origin_ns)
+                                     origin_ns=seg.origin_ns, span=seg.span)
         return io_full

@@ -44,6 +44,8 @@ class MonitorThread:
         }
         self._last_weight_update = 0
         self.record_series = record_series
+        #: Optional :class:`repro.obs.bus.EventBus` (wired by the manager).
+        self.bus = None
         #: Optional per-NF share history (Figure 15a plots this).
         self.share_series: Dict[str, TimeSeries] = {
             nf.name: TimeSeries(nf.name) for nf in self.nfs
@@ -104,3 +106,6 @@ class MonitorThread:
                 value = self.cgroups.set_shares(nf, shares[nf.name])
                 if self.record_series:
                     self.share_series[nf.name].append(now_ns, value)
+                if self.bus is not None and self.bus.active:
+                    self.bus.publish("monitor.weights", nf.name,
+                                     core=_core_id, shares=value)

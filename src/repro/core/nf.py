@@ -179,7 +179,8 @@ class NFProcess(CoreTask):
                 outcome = ExecOutcome.USED_ALL
                 break
             consumed += cyc
-            io_full = self._forward(self.rx_ring.dequeue(k), now_ns)
+            io_full = self._forward(self.rx_ring.dequeue(k), now_ns,
+                                    (cyc / k) * self._ns_per_cycle)
             self._maybe_sample(now_ns, cyc, k)
             if io_full:
                 outcome = ExecOutcome.IO_BLOCKED
@@ -200,7 +201,8 @@ class NFProcess(CoreTask):
     def _needs_io(self, flow: Flow) -> bool:
         return self.io_selector is None or self.io_selector(flow)
 
-    def _forward(self, segments: List[PacketSegment], now_ns: int) -> bool:
+    def _forward(self, segments: List[PacketSegment], now_ns: int,
+                 svc_ns_per_pkt: float = 0.0) -> bool:
         """Emit processed segments to the Tx ring; returns True if the I/O
         context became full (NF must yield)."""
         io_full = False
@@ -208,6 +210,9 @@ class NFProcess(CoreTask):
             wait = now_ns - seg.enqueue_ns
             if wait >= 0:
                 self.latency_hist.add(wait)
+            if seg.span is not None:
+                # Sampled packet: this hop's queue wait and service time.
+                seg.span.record_hop(self.name, max(0, wait), svc_ns_per_pkt)
             self.processed_packets += seg.count
             chain = seg.flow.chain
             if chain is not None:
@@ -223,7 +228,7 @@ class NFProcess(CoreTask):
                     io_full = True
             # Space was reserved (batch <= tx free), so this cannot drop.
             self.tx_ring.enqueue(seg.flow, seg.count, now_ns,
-                                 origin_ns=seg.origin_ns)
+                                 origin_ns=seg.origin_ns, span=seg.span)
         return io_full
 
     def _maybe_sample(self, now_ns: int, cycles: float, packets: int) -> None:

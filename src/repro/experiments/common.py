@@ -97,6 +97,9 @@ class ScenarioResult:
     nfs: Dict[str, NFSummary]
     core_utilization: Dict[int, float]
     series: Dict[str, TimeSeries] = field(default_factory=dict)
+    #: Scheduler-trace events lost past any attached tracer's cap (0 when
+    #: no tracer was attached; non-zero means timelines are incomplete).
+    sched_trace_dropped: int = 0
 
     def nf(self, name: str) -> NFSummary:
         return self.nfs[name]
@@ -181,7 +184,12 @@ class Scenario:
     def run(self, duration_s: float = 2.0,
             extra_probes: Optional[Dict[str, Tuple]] = None) -> ScenarioResult:
         """Run for ``duration_s`` simulated seconds and summarise."""
+        from repro.obs.session import current_session
+
         mgr = self.manager
+        session = current_session()
+        if session is not None and not mgr._started:
+            session.attach(self)
         sampler = IntervalSampler(self.loop, SEC)
         for chain in mgr.chains.values():
             sampler.add_probe(
@@ -242,6 +250,10 @@ class Scenario:
             core_id: core.stats.utilization(horizon_ns)
             for core_id, core in mgr.cores.items()
         }
+        trace_dropped = sum(
+            core.tracer.dropped for core in mgr.cores.values()
+            if core.tracer is not None
+        )
         return ScenarioResult(
             scheduler=self.scheduler,
             features=self.features,
@@ -253,6 +265,7 @@ class Scenario:
             nfs=nfs,
             core_utilization=utilization,
             series=dict(sampler.series),
+            sched_trace_dropped=trace_dropped,
         )
 
 

@@ -1,0 +1,53 @@
+"""Unified observability: event bus, packet spans, metrics, exporters.
+
+The paper diagnoses its scheduler with ``perf sched`` traces and
+per-second testbed counters (§4.1, Table 4); this package gives the
+reproduction the same visibility:
+
+* :mod:`repro.obs.bus` — a simulation-wide event bus every layer
+  publishes to (scheduler, rings, backpressure, ECN, wakeup, monitor).
+* :mod:`repro.obs.spans` — per-packet lifecycle spans with 1-in-N
+  sampling, yielding per-hop queue-wait / service-time breakdowns.
+* :mod:`repro.obs.registry` — named, labelled counters/gauges/histograms
+  with a periodic snapshot sampler.
+* :mod:`repro.obs.export` — Chrome/Perfetto trace-event JSON and
+  Prometheus text exposition.
+* :mod:`repro.obs.session` — ties the above together for CLI runs
+  (``python -m repro run fig07 --trace out.json``).
+
+Everything is opt-in: with no bus attached every publish site costs a
+single ``is not None`` branch and allocates nothing.
+"""
+
+from repro.obs.bus import (  # noqa: F401
+    BP_CLEAR,
+    BP_RELINQUISH,
+    BP_THROTTLE,
+    BP_WATCH,
+    BusEvent,
+    ECN_MARK,
+    EventBus,
+    MONITOR_WEIGHTS,
+    RING_DEQUEUE,
+    RING_DROP,
+    RING_ENQUEUE,
+    RX_DISCARD,
+    SCHED_DISPATCH,
+    SCHED_SWITCH_OUT,
+    SCHED_WAKE,
+    WAKEUP_POST,
+)
+from repro.obs.export import (  # noqa: F401
+    chrome_trace_events,
+    render_prometheus,
+    write_chrome_trace,
+    write_prometheus,
+)
+from repro.obs.registry import Gauge, MetricsRegistry, RegistrySampler  # noqa: F401
+from repro.obs.session import (  # noqa: F401
+    ObsSession,
+    activate_session,
+    current_session,
+    deactivate_session,
+)
+from repro.obs.spans import PacketSpan, SpanCollector  # noqa: F401

@@ -1,0 +1,141 @@
+"""The simulation-wide event bus.
+
+One :class:`EventBus` per platform instance collects timestamped events
+from every layer — scheduler wake/dispatch/switch, ring enqueue/dequeue/
+drop, backpressure state transitions, ECN marks, wakeup posts, monitor
+weight writes.  Subscribers (the Perfetto exporter, a
+:class:`~repro.sched.tracing.SchedTracer` adapter, tests) receive each
+event synchronously in publish order, which the deterministic event loop
+makes fully reproducible run-over-run.
+
+The bus is opt-in.  Publish sites hold a ``bus`` reference that is
+``None`` by default, so the disabled fast path is a single branch::
+
+    if self.bus is not None:
+        self.bus.publish(RING_DROP, self.name, count=dropped)
+
+Recording is bounded by ``max_events``; past the cap events still reach
+subscribers but are no longer retained, and ``dropped`` counts how many
+were discarded so downstream reports cannot silently lie.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.engine import EventLoop
+
+# ---------------------------------------------------------------------------
+# Event taxonomy.  Kinds are dotted ``layer.action`` strings; the layer
+# prefix groups events into Perfetto tracks and lets subscribers filter
+# with a single startswith().
+# ---------------------------------------------------------------------------
+SCHED_WAKE = "sched.wake"            # task became runnable (semaphore post)
+SCHED_DISPATCH = "sched.dispatch"    # task picked and granted a slice
+SCHED_SWITCH_OUT = "sched.switch_out"  # task left the CPU (detail=outcome)
+
+RING_ENQUEUE = "ring.enqueue"        # packets appended to a ring
+RING_DEQUEUE = "ring.dequeue"        # packets removed from a ring
+RING_DROP = "ring.drop"              # packets lost to a full ring
+
+BP_WATCH = "bp.watch"                # NF entered the watch list
+BP_THROTTLE = "bp.throttle"          # NF entered packet-throttle state
+BP_CLEAR = "bp.clear"                # throttle lifted (queue drained)
+BP_RELINQUISH = "bp.relinquish"      # relinquish flag toggled on an NF
+
+ECN_MARK = "ecn.mark"                # CE marks applied to a flow
+
+WAKEUP_POST = "wakeup.post"          # Wakeup subsystem posted a semaphore
+RX_DISCARD = "rx.discard"            # arrivals shed at entry (Figure 5)
+MONITOR_WEIGHTS = "monitor.weights"  # cgroup cpu.shares written
+
+
+class BusEvent:
+    """One published event: when, what, who, and free-form fields."""
+
+    __slots__ = ("time_ns", "kind", "source", "args")
+
+    def __init__(self, time_ns: int, kind: str, source: str, args: Dict):
+        self.time_ns = time_ns
+        self.kind = kind
+        self.source = source
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BusEvent({self.time_ns}, {self.kind!r}, {self.source!r}, "
+            f"{self.args!r})"
+        )
+
+
+class EventBus:
+    """Collects :class:`BusEvent` records and fans them out to subscribers."""
+
+    def __init__(self, loop: EventLoop, max_events: int = 500_000,
+                 record: bool = True):
+        self.loop = loop
+        self.max_events = int(max_events)
+        #: When False the bus only dispatches to subscribers (used by the
+        #: SchedTracer adapter, which keeps its own bounded store).
+        self.record = record
+        #: True when publishing can have any effect (recording or at least
+        #: one subscriber).  Hot publish sites check this before paying
+        #: for the call: ``if bus is not None and bus.active:`` — so an
+        #: attached-but-inert bus stays within the overhead budget.
+        self.active = record
+        self.events: List[BusEvent] = []
+        self.dropped = 0
+        self.counts: Dict[str, int] = {}
+        self.subscribers: List[Callable[[BusEvent], None]] = []
+
+    # ------------------------------------------------------------------
+    def publish(self, kind: str, source: str = "", **args) -> None:
+        """Record an event at the loop's current time and notify subscribers."""
+        counts = self.counts
+        counts[kind] = counts.get(kind, 0) + 1
+        if not self.active:
+            # Inert bus (counts only): skip event construction entirely.
+            return
+        ev = BusEvent(self.loop.now, kind, source, args)
+        if self.record:
+            if len(self.events) < self.max_events:
+                self.events.append(ev)
+            else:
+                self.dropped += 1
+        for fn in self.subscribers:
+            fn(ev)
+
+    def subscribe(self, fn: Callable[[BusEvent], None]) -> None:
+        self.subscribers.append(fn)
+        self.active = True
+
+    def adopt_subscribers(self, other: Optional["EventBus"]) -> None:
+        """Carry subscribers over from a bus this one replaces.
+
+        A core may have grown a private bus (via its ``tracer`` property)
+        before the manager attached the platform-wide one; the private
+        bus's subscribers keep working on the shared bus.
+        """
+        if other is None or other is self:
+            return
+        self.subscribers.extend(other.subscribers)
+        if self.subscribers:
+            self.active = True
+
+    # ------------------------------------------------------------------
+    def kinds(self) -> List[str]:
+        """Distinct kinds published so far (sorted)."""
+        return sorted(self.counts)
+
+    def of_kind(self, kind: str) -> List[BusEvent]:
+        """Recorded events of one kind, in publish order."""
+        return [ev for ev in self.events if ev.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventBus({len(self.events)} events, dropped={self.dropped}, "
+            f"subscribers={len(self.subscribers)})"
+        )

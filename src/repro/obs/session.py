@@ -1,0 +1,173 @@
+"""Observability sessions: CLI-level wiring for experiment runs.
+
+Experiment modules build their :class:`~repro.experiments.common.Scenario`
+objects internally (a fig07 run constructs sixteen), so the CLI cannot
+hand each one a bus directly.  Instead it *activates* an
+:class:`ObsSession`; every Scenario checks for an active session before
+starting its platform and attaches itself.  The session then owns:
+
+* one :class:`~repro.obs.bus.EventBus` per scenario (distinct Perfetto
+  process per scenario in the exported trace),
+* one shared :class:`~repro.obs.spans.SpanCollector` (per-hop latency
+  rows merge across scenarios; hop names carry the NF names),
+* one shared :class:`~repro.obs.registry.MetricsRegistry` where each
+  scenario registers its gauges under a ``scenario`` label, sampled
+  periodically by a per-scenario :class:`RegistrySampler`.
+
+``finalize()`` writes the requested artifacts and returns a printable
+summary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.obs.bus import EventBus
+from repro.obs.export import write_chrome_trace, write_prometheus
+from repro.obs.registry import MetricsRegistry, RegistrySampler
+from repro.obs.spans import SpanCollector
+from repro.sim.clock import MSEC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.common import Scenario
+    from repro.platform.manager import NFManager
+
+#: The module-level active session the Scenario runner consults.
+_ACTIVE: Optional["ObsSession"] = None
+
+
+def activate_session(session: "ObsSession") -> None:
+    """Make ``session`` the one new scenarios attach to."""
+    global _ACTIVE
+    _ACTIVE = session
+
+
+def deactivate_session() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def current_session() -> Optional["ObsSession"]:
+    return _ACTIVE
+
+
+class ObsSession:
+    """Collects observability artifacts across the scenarios of one run."""
+
+    def __init__(
+        self,
+        trace_path: Optional[str] = None,
+        metrics_path: Optional[str] = None,
+        span_sample_rate: int = 64,
+        max_bus_events: int = 100_000,
+        sample_period_ns: int = 100 * MSEC,
+    ):
+        self.trace_path = trace_path
+        self.metrics_path = metrics_path
+        self.max_bus_events = int(max_bus_events)
+        self.sample_period_ns = int(sample_period_ns)
+        self.spans = SpanCollector(sample_rate=span_sample_rate)
+        self.registry = MetricsRegistry()
+        self.buses: List[Tuple[str, EventBus]] = []
+        self._label_counts: Dict[str, int] = {}
+        self._samplers: List[RegistrySampler] = []
+
+    # ------------------------------------------------------------------
+    def _unique_label(self, base: str) -> str:
+        n = self._label_counts.get(base, 0) + 1
+        self._label_counts[base] = n
+        return base if n == 1 else f"{base} #{n}"
+
+    def attach(self, scenario: "Scenario") -> None:
+        """Wire this session into a scenario about to run."""
+        label = self._unique_label(
+            f"{scenario.scheduler}/{scenario.features}")
+        bus: Optional[EventBus] = None
+        if self.trace_path is not None:
+            bus = EventBus(scenario.loop, max_events=self.max_bus_events)
+            self.buses.append((label, bus))
+        scenario.manager.attach_observability(bus=bus, spans=self.spans)
+        self.register_platform_metrics(scenario.manager, label)
+        sampler = RegistrySampler(scenario.loop, self.registry,
+                                  period_ns=self.sample_period_ns,
+                                  label_filter={"scenario": label})
+        sampler.start()
+        self._samplers.append(sampler)
+
+    def register_platform_metrics(self, mgr: "NFManager",
+                                  scenario: str) -> None:
+        """Expose the platform's live counters as labelled gauges.
+
+        Gauges wrap callables reading the live objects, so registration
+        costs nothing on the data path; the sampler and the Prometheus
+        exporter pull values on demand.
+        """
+        reg = self.registry
+        for nf in mgr.nfs:
+            reg.gauge("repro_nf_processed_packets",
+                      "packets processed by the NF",
+                      fn=(lambda nf=nf: nf.processed_packets),
+                      nf=nf.name, scenario=scenario)
+            reg.gauge("repro_nf_wasted_packets",
+                      "NF output later dropped downstream",
+                      fn=(lambda nf=nf: nf.wasted_processed),
+                      nf=nf.name, scenario=scenario)
+            reg.gauge("repro_nf_rx_ring_depth",
+                      "instantaneous Rx ring occupancy",
+                      fn=(lambda nf=nf: len(nf.rx_ring)),
+                      nf=nf.name, scenario=scenario)
+            reg.gauge("repro_nf_rx_ring_drops",
+                      "arrivals dropped at the NF Rx ring",
+                      fn=(lambda nf=nf: nf.rx_ring.dropped_total),
+                      nf=nf.name, scenario=scenario)
+        for chain in mgr.chains.values():
+            reg.gauge("repro_chain_completed_packets",
+                      "packets that traversed the full chain",
+                      fn=(lambda c=chain: c.completed),
+                      chain=chain.name, scenario=scenario)
+            reg.gauge("repro_chain_entry_discards",
+                      "packets shed at system entry by backpressure",
+                      fn=(lambda c=chain: c.entry_discards),
+                      chain=chain.name, scenario=scenario)
+            reg.gauge("repro_chain_wasted_packets",
+                      "packets dropped after upstream processing",
+                      fn=(lambda c=chain: c.wasted_drops),
+                      chain=chain.name, scenario=scenario)
+        for core_id, core in sorted(mgr.cores.items()):
+            reg.gauge("repro_core_busy_seconds",
+                      "simulated seconds the core spent on task work",
+                      fn=(lambda c=core: c.stats.busy_ns / 1e9),
+                      core=str(core_id), scenario=scenario)
+            reg.gauge("repro_core_dispatches",
+                      "scheduler dispatch count",
+                      fn=(lambda c=core: c.stats.dispatches),
+                      core=str(core_id), scenario=scenario)
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> str:
+        """Write requested artifacts; returns a printable summary."""
+        lines: List[str] = []
+        if self.trace_path is not None:
+            write_chrome_trace(self.trace_path, self.buses)
+            total = sum(len(bus) for _l, bus in self.buses)
+            dropped = sum(bus.dropped for _l, bus in self.buses)
+            note = f" ({dropped} past the bus cap not recorded)" \
+                if dropped else ""
+            lines.append(
+                f"[obs] wrote {total} trace events from "
+                f"{len(self.buses)} scenario(s) to {self.trace_path}{note}"
+            )
+        if self.metrics_path is not None:
+            write_prometheus(self.registry, self.metrics_path)
+            lines.append(
+                f"[obs] wrote {len(self.registry)} metrics to "
+                f"{self.metrics_path}"
+            )
+        if len(self.spans):
+            lines.append(self.spans.render_report())
+        elif self.spans.started:
+            lines.append(
+                f"[obs] {self.spans.started} spans started but none "
+                f"completed (packets still queued or dropped)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Per-packet lifecycle spans with 1-in-N sampling.
+
+A span follows one sampled packet from its arrival at the NIC through
+the Rx thread, every NF of its service chain (recording, per hop, how
+long it waited in the NF's Rx ring and how long the NF spent processing
+it), the NF Tx rings, and finally out the NIC.  The per-hop
+percentile breakdown this yields is the reproduction's answer to the
+paper's Table 4 latency attribution — it shows *where* in the chain
+time goes, not just the end-to-end total the chain histogram already
+tracks.
+
+Sampling is deterministic, not random: the collector counts packets
+offered at the Rx thread and starts a span on every ``sample_rate``-th
+packet, so two runs with the same seed sample the same packets and
+produce identical reports.  A sampled :class:`PacketSpan` rides on the
+:class:`~repro.platform.packet.PacketSegment` carrying its packet (the
+``span`` slot); rings move it hop to hop, so the untraced fast path
+never looks at it beyond a ``span is not None`` branch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.report import render_table
+
+
+class SpanHop:
+    """One hop of a span: where, queue wait, and service time (ns)."""
+
+    __slots__ = ("name", "wait_ns", "service_ns")
+
+    def __init__(self, name: str, wait_ns: float, service_ns: float = 0.0):
+        self.name = name
+        self.wait_ns = float(wait_ns)
+        self.service_ns = float(service_ns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanHop({self.name!r}, wait={self.wait_ns:.0f}ns, "
+            f"svc={self.service_ns:.0f}ns)"
+        )
+
+
+class PacketSpan:
+    """The recorded lifecycle of one sampled packet."""
+
+    __slots__ = ("flow_id", "origin_ns", "end_ns", "hops", "_collector")
+
+    def __init__(self, collector: "SpanCollector", flow_id: str,
+                 origin_ns: int):
+        self._collector = collector
+        self.flow_id = flow_id
+        self.origin_ns = int(origin_ns)
+        self.end_ns: Optional[int] = None
+        self.hops: List[SpanHop] = []
+
+    def record_hop(self, name: str, wait_ns: float,
+                   service_ns: float = 0.0) -> None:
+        self.hops.append(SpanHop(name, wait_ns, service_ns))
+
+    def finish(self, now_ns: int) -> None:
+        """The packet left the system (NIC egress)."""
+        self.end_ns = int(now_ns)
+        self._collector._finished(self)
+
+    @property
+    def total_ns(self) -> float:
+        if self.end_ns is None:
+            return 0.0
+        return float(self.end_ns - self.origin_ns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end_ns is None else f"{self.total_ns:.0f}ns"
+        return f"PacketSpan({self.flow_id!r}, {len(self.hops)} hops, {state})"
+
+
+def _percentile(sorted_values: List[float], p: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(len(sorted_values) * p / 100.0))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class SpanCollector:
+    """Starts, collects and summarises packet spans."""
+
+    def __init__(self, sample_rate: int = 64, max_spans: int = 20_000):
+        if sample_rate <= 0:
+            raise ValueError("sample_rate must be positive")
+        self.sample_rate = int(sample_rate)
+        self.max_spans = int(max_spans)
+        self.started = 0
+        self.dropped = 0          # spans past max_spans (not recorded)
+        self.spans: List[PacketSpan] = []
+        self._seen = 0            # packets offered since the last sample
+
+    # ------------------------------------------------------------------
+    # Sampling (called by the Rx thread)
+    # ------------------------------------------------------------------
+    def maybe_start(self, flow_id: str, count: int,
+                    origin_ns: int) -> Optional[PacketSpan]:
+        """Sample 1 packet in ``sample_rate``; returns a span or None.
+
+        ``count`` advances the deterministic packet counter by the whole
+        segment; at most one span is started per segment (spans mark the
+        segment's head packet).
+        """
+        self._seen += count
+        if self._seen < self.sample_rate:
+            return None
+        self._seen %= self.sample_rate
+        self.started += 1
+        # ``_open`` already counts the span we are about to hand out.
+        if len(self.spans) + self._open > self.max_spans:
+            self.dropped += 1
+            return None
+        return PacketSpan(self, flow_id, origin_ns)
+
+    @property
+    def _open(self) -> int:
+        """Spans started and not yet finished or dropped."""
+        return self.started - self.dropped - len(self.spans)
+
+    def _finished(self, span: PacketSpan) -> None:
+        self.spans.append(span)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def hop_stats(self) -> List[Tuple[str, int, float, float, float, float]]:
+        """Per-hop rows: (hop, n, wait p50, wait p95, svc p50, svc p95), ns.
+
+        Hops are ordered by first appearance along the sampled packets'
+        paths (Rx first, then each NF in chain order).
+        """
+        waits: Dict[str, List[float]] = {}
+        services: Dict[str, List[float]] = {}
+        order: List[str] = []
+        for span in self.spans:
+            for hop in span.hops:
+                if hop.name not in waits:
+                    waits[hop.name] = []
+                    services[hop.name] = []
+                    order.append(hop.name)
+                waits[hop.name].append(hop.wait_ns)
+                services[hop.name].append(hop.service_ns)
+        rows = []
+        for name in order:
+            w = sorted(waits[name])
+            s = sorted(services[name])
+            rows.append((
+                name, len(w),
+                _percentile(w, 50), _percentile(w, 95),
+                _percentile(s, 50), _percentile(s, 95),
+            ))
+        return rows
+
+    def render_report(self) -> str:
+        """The per-hop latency breakdown table (µs)."""
+        rows = [
+            [name, n,
+             round(w50 / 1e3, 3), round(w95 / 1e3, 3),
+             round(s50 / 1e3, 3), round(s95 / 1e3, 3)]
+            for name, n, w50, w95, s50, s95 in self.hop_stats()
+        ]
+        totals = sorted(s.total_ns for s in self.spans)
+        title = (
+            f"per-hop latency breakdown — {len(self.spans)} spans "
+            f"(1 in {self.sample_rate}), end-to-end p50 "
+            f"{_percentile(totals, 50) / 1e3:.1f}us / p95 "
+            f"{_percentile(totals, 95) / 1e3:.1f}us"
+        )
+        if self.dropped:
+            title += f", {self.dropped} spans dropped at cap"
+        return render_table(
+            ["hop", "spans", "wait p50 us", "wait p95 us",
+             "svc p50 us", "svc p95 us"],
+            rows, title=title,
+        )
+
+    def __len__(self) -> int:
+        return len(self.spans)

@@ -66,6 +66,10 @@ class NFManager:
         self.cores: Dict[int, Core] = {}
         self._started = False
 
+        # Observability (attach_observability() before start()).
+        self.bus = None
+        self.spans = None
+
         # NFVnice subsystems (wired at start()).
         self.cgroups = CgroupController()
         self.backpressure: Optional["BackpressureController"] = None
@@ -86,7 +90,7 @@ class NFManager:
     def core(self, core_id: int) -> Core:
         """The worker core ``core_id`` (created on first use)."""
         if core_id not in self.cores:
-            self.cores[core_id] = Core(
+            core = Core(
                 self.loop,
                 self._make_scheduler(),
                 core_id=core_id,
@@ -94,6 +98,9 @@ class NFManager:
                 max_segment_ns=float(self.config.tx_poll_ns),
                 socket=core_id // max(1, self.config.cores_per_socket),
             )
+            if self.bus is not None:
+                core.attach_bus(self.bus)
+            self.cores[core_id] = core
         return self.cores[core_id]
 
     def add_nf(self, nf: "NFProcess", core_id: int = 0) -> "NFProcess":
@@ -102,7 +109,36 @@ class NFManager:
             raise RuntimeError("cannot add NFs after start()")
         self.core(core_id).add_task(nf)
         self.nfs.append(nf)
+        if self.bus is not None:
+            nf.rx_ring.bus = self.bus
+            nf.tx_ring.bus = self.bus
         return nf
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_observability(self, bus=None, spans=None) -> None:
+        """Attach an event bus and/or a span collector to the platform.
+
+        Call before :meth:`start`.  ``bus`` (an
+        :class:`repro.obs.bus.EventBus`) receives scheduler, ring,
+        backpressure, ECN, wakeup and monitor events from every layer;
+        ``spans`` (a :class:`repro.obs.spans.SpanCollector`) samples
+        packet lifecycles at the Rx thread.  With neither attached the
+        data path pays one ``is not None`` branch per publish site.
+        """
+        if self._started:
+            raise RuntimeError("attach observability before start()")
+        self.bus = bus
+        self.spans = spans
+        if bus is None:
+            return
+        for core in self.cores.values():
+            core.attach_bus(bus)
+        for nf in self.nfs:
+            nf.rx_ring.bus = bus
+            nf.tx_ring.bus = bus
+        self.nic.rx_ring.bus = bus
 
     def add_chain(self, name: str, nfs: Sequence["NFProcess"]) -> ServiceChain:
         """Define a service chain over already-added NFs."""
@@ -141,6 +177,15 @@ class NFManager:
             self.loop, self.nic, self.flow_table, self.wakeup,
             self.backpressure, cfg, ecn=self.ecn,
         )
+        if self.bus is not None:
+            if self.backpressure is not None:
+                self.backpressure.bus = self.bus
+            if self.ecn is not None:
+                self.ecn.bus = self.bus
+            self.wakeup.bus = self.bus
+            self.rx_thread.bus = self.bus
+        if self.spans is not None:
+            self.rx_thread.spans = self.spans
         n_tx = max(1, cfg.num_tx_threads)
         partitions: List[List] = [self.nfs[i::n_tx] for i in range(n_tx)]
         self.tx_threads = [
@@ -157,6 +202,8 @@ class NFManager:
             self.monitor = MonitorThread(
                 self.loop, self.nfs, self.cgroups, cfg, record_series=True
             )
+            if self.bus is not None:
+                self.monitor.bus = self.bus
             self.monitor.start()
         self._apply_numa_penalties()
         # Hook I/O completions into the wakeup path so an NF blocked on

@@ -49,6 +49,9 @@ class PacketRing:
         self.enqueued_total = 0
         self.dropped_total = 0
         self.dequeued_total = 0
+        #: Optional :class:`repro.obs.bus.EventBus`; when attached the ring
+        #: publishes enqueue/dequeue/drop events with its current depth.
+        self.bus = None
 
     # ------------------------------------------------------------------
     # State queries
@@ -90,11 +93,13 @@ class PacketRing:
     # Mutation
     # ------------------------------------------------------------------
     def enqueue(self, flow: Flow, count: int, now_ns: int,
-                origin_ns: Optional[int] = None) -> Tuple[int, int, bool]:
+                origin_ns: Optional[int] = None,
+                span=None) -> Tuple[int, int, bool]:
         """Append up to ``count`` packets of ``flow``.
 
         ``origin_ns`` carries the packets' first-arrival stamp through the
-        chain (defaults to ``now_ns`` for fresh arrivals).  Returns
+        chain (defaults to ``now_ns`` for fresh arrivals).  ``span``
+        attaches a sampled packet span to the run's head packet.  Returns
         ``(accepted, dropped, above_high)`` — the watermark flag is
         evaluated *after* the enqueue, which is the feedback the Tx thread
         uses for overload detection.
@@ -107,7 +112,8 @@ class PacketRing:
         if accepted > 0:
             tail = self._segments[-1] if self._segments else None
             if (
-                tail is not None
+                span is None
+                and tail is not None
                 and tail.flow is flow
                 and tail.enqueue_ns == int(now_ns)
                 and tail.origin_ns == origin
@@ -115,8 +121,9 @@ class PacketRing:
                 # Merge back-to-back same-flow arrivals into one segment.
                 tail.count += accepted
             else:
-                self._segments.append(
-                    PacketSegment(flow, accepted, int(now_ns), origin))
+                seg = PacketSegment(flow, accepted, int(now_ns), origin)
+                seg.span = span
+                self._segments.append(seg)
             self._count += accepted
             self.enqueued_total += accepted
             chain = flow.chain
@@ -126,12 +133,19 @@ class PacketRing:
         if dropped > 0:
             self.dropped_total += dropped
             flow.stats.queue_drops += dropped
+        if self.bus is not None and self.bus.active:
+            if accepted > 0:
+                self.bus.publish("ring.enqueue", self.name,
+                                 count=accepted, depth=self._count)
+            if dropped > 0:
+                self.bus.publish("ring.drop", self.name,
+                                 count=dropped, depth=self._count)
         return accepted, dropped, self.above_high
 
     def enqueue_segment(self, segment: PacketSegment, now_ns: int) -> Tuple[int, int, bool]:
         """Enqueue an existing segment (re-stamps enqueue, keeps origin)."""
         return self.enqueue(segment.flow, segment.count, now_ns,
-                            origin_ns=segment.origin_ns)
+                            origin_ns=segment.origin_ns, span=segment.span)
 
     def dequeue(self, max_packets: int) -> List[PacketSegment]:
         """Remove up to ``max_packets`` from the head, preserving FIFO order.
@@ -158,6 +172,9 @@ class PacketRing:
             chain = taken.flow.chain
             if chain is not None:
                 self._chain_counts[chain.name] -= taken.count
+        if out and self.bus is not None and self.bus.active:
+            self.bus.publish("ring.dequeue", self.name,
+                             count=max_packets - remaining, depth=self._count)
         return out
 
     def peek_head(self) -> Optional[PacketSegment]:
@@ -185,6 +202,10 @@ class PacketRing:
             self._count -= dropped
             self.dropped_total += dropped
             self._chain_counts[chain_name] = 0
+            if self.bus is not None and self.bus.active:
+                self.bus.publish("ring.drop", self.name,
+                                 count=dropped, depth=self._count,
+                                 chain=chain_name)
         return dropped
 
     def clear(self) -> int:

@@ -49,6 +49,9 @@ class RxThread:
         self.delivered = 0
         self.early_discards = 0
         self.unroutable = 0
+        #: Optional observability hooks (wired by NFManager.start()).
+        self.bus = None
+        self.spans = None
         cap = self.config.rx_thread_max_pps
         if cap is None:
             self._budget_per_poll = None
@@ -88,10 +91,20 @@ class RxThread:
                 chain.entry_discards += seg.count
                 flow.stats.entry_discards += seg.count
                 self.early_discards += seg.count
+                if self.bus is not None and self.bus.active:
+                    self.bus.publish("rx.discard", chain.name,
+                                     count=seg.count, flow=flow.flow_id)
                 continue
             first = chain.first()
+            span = None
+            if self.spans is not None:
+                span = self.spans.maybe_start(flow.flow_id, seg.count,
+                                              seg.origin_ns)
+                if span is not None:
+                    # Hop 0: time spent waiting in the NIC Rx ring.
+                    span.record_hop("rx", max(0, now - seg.enqueue_ns))
             accepted, _dropped, above_high = first.rx_ring.enqueue(
-                flow, seg.count, now, origin_ns=seg.origin_ns
+                flow, seg.count, now, origin_ns=seg.origin_ns, span=span
             )
             # Drops here waste nothing: no NF has touched these packets yet.
             if above_high and self.backpressure is not None:

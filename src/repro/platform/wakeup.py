@@ -44,6 +44,8 @@ class WakeupSubsystem:
         self.backpressure = backpressure
         self.config = config if config is not None else PlatformConfig()
         self.wakeups_posted = 0
+        #: Optional :class:`repro.obs.bus.EventBus` (wired by the manager).
+        self.bus = None
         self._proc = PeriodicProcess(
             loop, int(self.config.wakeup_scan_ns), self.scan, "wakeup"
         )
@@ -77,6 +79,9 @@ class WakeupSubsystem:
             return False
         if nf.core.wake(nf):
             self.wakeups_posted += 1
+            if self.bus is not None and self.bus.active:
+                self.bus.publish("wakeup.post", nf.name,
+                                 queued=len(nf.rx_ring))
             return True
         return False
 

@@ -83,8 +83,10 @@ class Core:
         self.max_segment_ns = float(max_segment_ns)
         self.tasks: List[CoreTask] = []
         self.stats = CoreStats()
-        #: Optional SchedTracer recording wake/dispatch/switch events.
-        self.tracer = None
+        #: Optional :class:`repro.obs.bus.EventBus` all scheduler events are
+        #: published to.  ``None`` (the default) costs one branch per event.
+        self.bus = None
+        self._tracer = None
 
         self.current: Optional[CoreTask] = None
         self._last_task: Optional[CoreTask] = None
@@ -94,6 +96,54 @@ class Core:
         self._charged_this_run: float = 0.0
         self._run_end: Optional[EventHandle] = None
         self._idle_since: Optional[int] = 0  # core starts idle at t=0
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_bus(self, bus) -> None:
+        """Use ``bus`` for scheduler events (platform-wide attachment).
+
+        Subscribers of a previously attached (or tracer-private) bus are
+        carried over so a hand-attached tracer keeps receiving events.
+        """
+        if bus is self.bus:
+            return
+        if self.bus is not None and bus is not None:
+            bus.adopt_subscribers(self.bus)
+        self.bus = bus
+
+    @property
+    def tracer(self):
+        """Back-compat: a :class:`~repro.sched.tracing.SchedTracer` fed from
+        the event bus.  Assigning a tracer subscribes it; the old
+        ``core.tracer = SchedTracer()`` idiom keeps working unchanged."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        if tracer is None:
+            return
+        if self.bus is None:
+            from repro.obs.bus import EventBus
+
+            # Dispatch-only bus: the tracer keeps its own bounded store.
+            self.bus = EventBus(self.loop, record=False)
+        core_id = self.core_id
+
+        def forward(ev, tracer=tracer, core_id=core_id):
+            if ev.args.get("core") != core_id:
+                return
+            kind = ev.kind
+            if kind == "sched.wake":
+                tracer.record(ev.time_ns, core_id, "wake", ev.source)
+            elif kind == "sched.dispatch":
+                tracer.record(ev.time_ns, core_id, "dispatch", ev.source)
+            elif kind == "sched.switch_out":
+                tracer.record(ev.time_ns, core_id, "switch_out", ev.source,
+                              ev.args.get("detail", ""))
+
+        self.bus.subscribe(forward)
 
     # ------------------------------------------------------------------
     # Task membership and wakeups
@@ -113,8 +163,8 @@ class Core:
         task.state = TaskState.READY
         task.last_ready_ns = now
         task.stats.wakeups += 1
-        if self.tracer is not None:
-            self.tracer.record(now, self.core_id, "wake", task.name)
+        if self.bus is not None and self.bus.active:
+            self.bus.publish("sched.wake", task.name, core=self.core_id)
         self.scheduler.enqueue(task, now, wakeup=True)
         if self.current is None:
             self._dispatch()
@@ -181,8 +231,8 @@ class Core:
         task.state = TaskState.RUNNING
         task.stats.sched_delay_ns += now - task.last_ready_ns
         task.stats.sched_delay_count += 1
-        if self.tracer is not None:
-            self.tracer.record(now, self.core_id, "dispatch", task.name)
+        if self.bus is not None and self.bus.active:
+            self.bus.publish("sched.dispatch", task.name, core=self.core_id)
 
         overhead = 0.0
         if self._last_task is not None and self._last_task is not task:
@@ -237,9 +287,9 @@ class Core:
         assert task is not None
         now = self.loop.now
         self.current = None
-        if self.tracer is not None:
-            self.tracer.record(now, self.core_id, "switch_out", task.name,
-                               outcome.value)
+        if self.bus is not None and self.bus.active:
+            self.bus.publish("sched.switch_out", task.name,
+                             core=self.core_id, detail=outcome.value)
         if outcome is ExecOutcome.USED_ALL:
             task.stats.involuntary_switches += 1
             task.state = TaskState.READY

@@ -67,7 +67,11 @@ class SchedTracer:
     def runs(self, core_id: Optional[int] = None) -> List[Tuple[str, int, int, str]]:
         """Dispatch-to-switch-out intervals: (task, start, end, reason).
 
-        The final, still-open run (if any) is omitted.
+        The final, still-open run (if any) is omitted.  A malformed pair —
+        a DISPATCH answered by a SWITCH_OUT naming a *different* task, or
+        two DISPATCHes back to back — closes the open run at the stray
+        event's timestamp with reason ``"mismatch:<other task>"`` instead
+        of silently discarding the on-CPU time.
         """
         out: List[Tuple[str, int, int, str]] = []
         open_run: Dict[int, Tuple[str, int]] = {}
@@ -75,12 +79,24 @@ class SchedTracer:
             if core_id is not None and ev.core_id != core_id:
                 continue
             if ev.kind == DISPATCH:
+                if ev.core_id in open_run:
+                    task, start = open_run[ev.core_id]
+                    out.append((task, start, ev.time_ns,
+                                f"mismatch:{ev.task}"))
                 open_run[ev.core_id] = (ev.task, ev.time_ns)
             elif ev.kind == SWITCH_OUT and ev.core_id in open_run:
                 task, start = open_run.pop(ev.core_id)
                 if task == ev.task:
                     out.append((task, start, ev.time_ns, ev.detail))
+                else:
+                    out.append((task, start, ev.time_ns,
+                                f"mismatch:{ev.task}"))
         return out
+
+    def mismatched_runs(self, core_id: Optional[int] = None) -> int:
+        """How many runs were closed by a mismatched event (trace bugs)."""
+        return sum(1 for _t, _s, _e, reason in self.runs(core_id)
+                   if reason.startswith("mismatch:"))
 
     def runtime_by_task(self, core_id: Optional[int] = None) -> Dict[str, int]:
         """Total traced on-CPU time per task (ns)."""
@@ -128,6 +144,9 @@ class SchedTracer:
                 else:
                     cells.append(".")
             lines.append(f"{task.rjust(width)} |{''.join(cells)}|")
+        if self.dropped:
+            lines.append(f"({self.dropped} events dropped at the "
+                         f"{self.max_events}-event tracer cap)")
         return "\n".join(lines)
 
     def __len__(self) -> int:

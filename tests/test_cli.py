@@ -49,3 +49,48 @@ def test_topology_command(tmp_path, capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_run_with_observability_artifacts(tmp_path, capsys):
+    """--trace/--metrics-out produce valid artifacts plus the hop table."""
+    from repro.obs.session import current_session
+
+    trace = tmp_path / "trace.json"
+    prom = tmp_path / "metrics.prom"
+    assert main(["run", "tab05", "--duration", "0.2",
+                 "--trace", str(trace),
+                 "--metrics-out", str(prom),
+                 "--span-sample-rate", "16"]) == 0
+    assert current_session() is None  # deactivated even on success
+    out = capsys.readouterr().out
+    assert "per-hop latency breakdown" in out
+    assert "[obs] wrote" in out
+
+    with open(trace) as fh:
+        data = json.load(fh)
+    events = data["traceEvents"]
+    assert events
+    # At least one scheduler slice per worker core and one counter sample
+    # per NF ring track (tab05 pins one NF per core).
+    slice_tids = {e["tid"] for e in events if e["ph"] == "X"}
+    assert {0, 1, 2} <= slice_tids
+    counter_names = {e["name"] for e in events if e["ph"] == "C"}
+    assert {"ring nf1.rx", "ring nf2.rx", "ring nf3.rx"} <= counter_names
+
+    text = prom.read_text()
+    assert "# TYPE repro_chain_completed_packets gauge" in text
+    assert "scenario=" in text
+
+
+def test_run_rejects_nonpositive_span_sample_rate(capsys):
+    assert main(["run", "tab05", "--span-sample-rate", "0"]) == 2
+    assert "--span-sample-rate" in capsys.readouterr().err
+
+
+def test_run_without_observability_attaches_nothing(capsys):
+    from repro.obs.session import current_session
+
+    assert main(["run", "tab05", "--duration", "0.1"]) == 0
+    assert current_session() is None
+    out = capsys.readouterr().out
+    assert "[obs]" not in out

@@ -1,0 +1,330 @@
+"""Tests for the unified telemetry layer (:mod:`repro.obs`).
+
+Covers the event bus (ordering, caps, determinism), packet-lifecycle
+spans (deterministic 1-in-N sampling, per-hop recording), the metrics
+registry and sampler, the Chrome-trace / Prometheus exporters, and the
+end-to-end wiring through :class:`~repro.obs.session.ObsSession`.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.common import Scenario, build_linear_chain
+from repro.obs.bus import EventBus
+from repro.obs.export import (
+    chrome_trace_events,
+    render_prometheus,
+    write_chrome_trace,
+)
+from repro.obs.registry import MetricsRegistry, RegistrySampler
+from repro.obs.session import (
+    ObsSession,
+    activate_session,
+    current_session,
+    deactivate_session,
+)
+from repro.obs.spans import SpanCollector, _percentile
+from repro.sim.clock import MSEC
+from repro.sim.engine import EventLoop
+
+
+def build_scenario(**kwargs):
+    scenario = Scenario(scheduler="BATCH", features="NFVnice", **kwargs)
+    build_linear_chain(scenario, (120, 550), core=0)
+    scenario.add_flow("f", "chain", line_rate_fraction=0.5)
+    return scenario
+
+
+class TestEventBus:
+    def test_publish_records_in_order(self, loop):
+        bus = EventBus(loop)
+        bus.publish("a.one", "x", n=1)
+        loop.schedule(5, lambda: bus.publish("a.two", "y"))
+        loop.run_until(10)
+        assert [ev.kind for ev in bus.events] == ["a.one", "a.two"]
+        assert bus.events[0].time_ns == 0
+        assert bus.events[1].time_ns == 5
+        assert bus.events[0].args == {"n": 1}
+
+    def test_counts_and_cap(self, loop):
+        bus = EventBus(loop, max_events=3)
+        for i in range(5):
+            bus.publish("k", str(i))
+        assert len(bus.events) == 3
+        assert bus.dropped == 2
+        assert bus.counts["k"] == 5  # counts keep running past the cap
+
+    def test_record_false_keeps_counts_only(self, loop):
+        bus = EventBus(loop, record=False)
+        bus.publish("k", "s")
+        assert not bus.events
+        assert bus.counts["k"] == 1
+
+    def test_subscribers_fire_even_past_cap(self, loop):
+        bus = EventBus(loop, max_events=1)
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish("k", "a")
+        bus.publish("k", "b")
+        assert [ev.source for ev in seen] == ["a", "b"]
+
+    def test_adopt_subscribers(self, loop):
+        old, new = EventBus(loop), EventBus(loop)
+        seen = []
+        old.subscribe(seen.append)
+        new.adopt_subscribers(old)
+        new.publish("k", "s")
+        assert len(seen) == 1
+
+    def test_platform_events_deterministic(self):
+        """Two identical seeded runs publish identical event streams."""
+
+        def run():
+            scenario = build_scenario(seed=3)
+            bus = EventBus(scenario.loop)
+            scenario.manager.attach_observability(bus=bus)
+            scenario.run(0.05)
+            return [(ev.time_ns, ev.kind, ev.source) for ev in bus.events]
+
+        first, second = run(), run()
+        assert first == second
+        kinds = {kind for _t, kind, _s in first}
+        assert "sched.dispatch" in kinds
+        assert "ring.enqueue" in kinds
+        assert "ring.dequeue" in kinds
+
+    def test_backpressure_events_published(self):
+        scenario = build_scenario()
+        bus = EventBus(scenario.loop)
+        scenario.manager.attach_observability(bus=bus)
+        scenario.run(0.1)
+        kinds = bus.kinds()
+        assert "bp.watch" in kinds
+        assert "bp.throttle" in kinds
+        # The bottleneck NF's throttle event names the chain it sheds at
+        # entry; nf1's own throttle (entry NF) legitimately sheds none.
+        evs = bus.of_kind("bp.throttle")
+        assert any(ev.source == "nf2" and ev.args["chains"] == ["chain"]
+                   for ev in evs)
+        for ev in evs:
+            assert ev.args["depth"] > 0
+
+
+class TestSpans:
+    def test_sampling_is_deterministic_counting(self):
+        coll = SpanCollector(sample_rate=10)
+        starts = []
+        for i in range(50):
+            span = coll.maybe_start("f", 2, origin_ns=i)
+            if span is not None:
+                starts.append(i)
+                span.finish(i)
+        # 100 packets in 2-packet segments: one span per 10 packets.
+        assert coll.started == 10
+        assert starts == [4, 9, 14, 19, 24, 29, 34, 39, 44, 49]
+
+    def test_cap_drops_excess_spans(self):
+        coll = SpanCollector(sample_rate=1, max_spans=2)
+        spans = [coll.maybe_start("f", 1, 0) for _ in range(4)]
+        for s in spans:
+            if s is not None:
+                s.finish(10)
+        assert len(coll) == 2
+        assert coll.dropped == 2
+        assert "dropped at cap" in coll.render_report()
+
+    def test_hop_stats_order_and_percentiles(self):
+        coll = SpanCollector(sample_rate=1)
+        for waits in ((100, 10), (300, 30)):
+            span = coll.maybe_start("f", 1, 0)
+            span.record_hop("rx", waits[0])
+            span.record_hop("nf1", waits[1], 7.0)
+            span.finish(1000)
+        rows = coll.hop_stats()
+        assert [r[0] for r in rows] == ["rx", "nf1"]
+        rx = rows[0]
+        assert rx[1] == 2
+        assert rx[2] == 100  # p50 (nearest rank of [100, 300])
+        assert rx[3] == 300  # p95
+        assert rows[1][4] == 7.0
+
+    def test_percentile_nearest_rank(self):
+        values = sorted(float(v) for v in range(1, 101))
+        assert _percentile(values, 50) == 50.0
+        assert _percentile(values, 95) == 95.0
+        assert _percentile([], 50) == 0.0
+
+    def test_platform_spans_record_every_hop(self):
+        scenario = build_scenario()
+        spans = SpanCollector(sample_rate=32)
+        scenario.manager.attach_observability(spans=spans)
+        scenario.run(0.05)
+        assert len(spans) > 0
+        hop_names = [r[0] for r in spans.hop_stats()]
+        # NIC wait, then each NF and its Tx-ring wait, in chain order.
+        assert hop_names == ["rx", "nf1", "nf1:tx", "nf2", "nf2:tx"]
+        for span in spans.spans:
+            assert span.end_ns is not None
+            assert span.total_ns >= 0
+
+    def test_platform_spans_deterministic(self):
+        def run():
+            scenario = build_scenario(seed=7)
+            spans = SpanCollector(sample_rate=16)
+            scenario.manager.attach_observability(spans=spans)
+            scenario.run(0.05)
+            return [
+                (s.flow_id, s.origin_ns, s.end_ns,
+                 [(h.name, h.wait_ns, h.service_ns) for h in s.hops])
+                for s in spans.spans
+            ]
+
+        assert run() == run()
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_registration(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits", "total hits", nf="a")
+        c.add(3)
+        g = reg.gauge("depth", "ring depth", nf="a")
+        g.set(17)
+        reg.histogram("lat", "latency", nf="a")
+        assert len(reg) == 3
+        assert reg.scalar_value("hits", nf="a") == 3
+        assert reg.scalar_value("depth", nf="a") == 17
+
+    def test_same_name_different_labels_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", nf="a").add(1)
+        reg.counter("hits", nf="b").add(2)
+        assert reg.scalar_value("hits", nf="a") == 1
+        assert reg.scalar_value("hits", nf="b") == 2
+
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("hits", nf="a") is reg.counter("hits", nf="a")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_gauge_callable_reads_live_state(self):
+        reg = MetricsRegistry()
+        state = {"v": 1}
+        reg.gauge("live", fn=lambda: state["v"])
+        assert reg.scalar_value("live") == 1
+        state["v"] = 5
+        assert reg.scalar_value("live") == 5
+
+    def test_sampler_snapshots_scalars(self, loop):
+        reg = MetricsRegistry()
+        ticks = {"n": 0}
+        reg.gauge("g", fn=lambda: ticks["n"])
+        sampler = RegistrySampler(loop, reg, period_ns=MSEC)
+        sampler.start()
+        loop.schedule(int(1.5 * MSEC), lambda: ticks.update(n=10))
+        loop.run_until(3 * MSEC + 1)
+        series = reg.snapshots[("g", ())]
+        assert list(series.values)[:3] == [0.0, 10.0, 10.0]
+
+    def test_sampler_label_filter(self, loop):
+        reg = MetricsRegistry()
+        reg.gauge("g", scenario="one").set(1)
+        reg.gauge("g", scenario="two").set(2)
+        sampler = RegistrySampler(loop, reg, period_ns=MSEC,
+                                  label_filter={"scenario": "one"})
+        sampler.start()
+        loop.run_until(MSEC + 1)
+        assert ("g", (("scenario", "one"),)) in reg.snapshots
+        assert ("g", (("scenario", "two"),)) not in reg.snapshots
+
+
+class TestExporters:
+    def _traced_bus(self):
+        scenario = build_scenario()
+        bus = EventBus(scenario.loop)
+        scenario.manager.attach_observability(bus=bus)
+        scenario.run(0.05)
+        return bus
+
+    def test_chrome_trace_shape(self):
+        events = chrome_trace_events(self._traced_bus(), pid=4, label="lbl")
+        slices = [e for e in events if e["ph"] == "X"]
+        counters = [e for e in events if e["ph"] == "C"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert slices and counters and meta
+        for e in slices:
+            assert e["pid"] == 4
+            assert e["dur"] >= 0
+        counter_names = {e["name"] for e in counters}
+        assert "ring nf1.rx" in counter_names
+        process_names = [e for e in meta if e["name"] == "process_name"]
+        assert process_names[0]["args"]["name"] == "lbl"
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, [("case", self._traced_bus())])
+        with open(path) as fh:
+            data = json.load(fh)
+        assert data["traceEvents"]
+        assert data["displayTimeUnit"] == "ms"
+
+    def test_prometheus_text_parses(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_hits_total", "total hits", nf="a").add(5)
+        reg.gauge("repro_depth", "queue depth", nf='we"ird').set(2.5)
+        h = reg.histogram("repro_lat", "latency ns")
+        for v in (100, 200, 300):
+            h.add(v)
+        text = render_prometheus(reg)
+        assert "# HELP repro_hits_total total hits" in text
+        assert "# TYPE repro_hits_total counter" in text
+        assert 'repro_hits_total{nf="a"} 5' in text
+        assert 'nf="we\\"ird"' in text
+        assert 'repro_lat{quantile="0.5"}' in text
+        assert "repro_lat_count 3" in text
+        # Every non-comment line is "name{labels} value" with float value.
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            float(line.rsplit(" ", 1)[1])
+
+
+class TestObsSession:
+    def test_session_activation_lifecycle(self):
+        assert current_session() is None
+        session = ObsSession()
+        activate_session(session)
+        try:
+            assert current_session() is session
+        finally:
+            deactivate_session()
+        assert current_session() is None
+
+    def test_scenario_attaches_to_active_session(self, tmp_path):
+        trace = tmp_path / "t.json"
+        prom = tmp_path / "m.prom"
+        session = ObsSession(trace_path=str(trace), metrics_path=str(prom),
+                             span_sample_rate=16)
+        activate_session(session)
+        try:
+            build_scenario().run(0.05)
+        finally:
+            deactivate_session()
+        summary = session.finalize()
+        assert trace.exists() and prom.exists()
+        assert "per-hop latency breakdown" in summary
+        with open(trace) as fh:
+            assert json.load(fh)["traceEvents"]
+        assert "repro_chain_completed_packets" in prom.read_text()
+
+    def test_no_session_means_no_bus(self):
+        scenario = build_scenario()
+        scenario.run(0.02)
+        assert scenario.manager.bus is None
+        for core in scenario.manager.cores.values():
+            assert core.bus is None

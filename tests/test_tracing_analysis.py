@@ -6,7 +6,9 @@ import pytest
 
 from repro.analysis.compare import compare_results
 from repro.analysis.export import (
+    load_result,
     load_result_dict,
+    result_from_dict,
     result_to_dict,
     save_result,
     series_from_dict,
@@ -86,6 +88,85 @@ class TestSchedTracer:
         tracer.record(2, 0, DISPATCH, "a")
         assert tracer.counts() == {("a", WAKE): 2, ("a", DISPATCH): 1}
 
+    def test_mismatched_switch_out_closes_run(self):
+        """A SWITCH_OUT naming a different task must not silently discard
+        the open run — it closes it flagged as a mismatch."""
+        tracer = SchedTracer()
+        tracer.record(0, 0, DISPATCH, "a")
+        tracer.record(10, 0, SWITCH_OUT, "b")
+        runs = tracer.runs(core_id=0)
+        assert runs == [("a", 0, 10, "mismatch:b")]
+        assert tracer.mismatched_runs(core_id=0) == 1
+        # The flagged interval still counts toward the task's runtime.
+        assert tracer.runtime_by_task(core_id=0) == {"a": 10}
+
+    def test_double_dispatch_closes_run(self):
+        tracer = SchedTracer()
+        tracer.record(0, 0, DISPATCH, "a")
+        tracer.record(5, 0, DISPATCH, "b")
+        tracer.record(9, 0, SWITCH_OUT, "b")
+        assert tracer.runs(core_id=0) == [
+            ("a", 0, 5, "mismatch:b"), ("b", 5, 9, "")]
+
+    def test_well_formed_trace_has_no_mismatches(self):
+        tracer, _ = self._traced_run()
+        assert tracer.mismatched_runs() == 0
+
+    def test_dropped_events_surface_in_timeline(self):
+        tracer = SchedTracer(max_events=2)
+        tracer.record(0, 0, DISPATCH, "a")
+        tracer.record(5, 0, SWITCH_OUT, "a")
+        tracer.record(6, 0, DISPATCH, "a")
+        art = tracer.render_timeline(0, 10, bucket_ns=5)
+        assert "1 events dropped" in art
+
+
+class TestMultiCoreTracing:
+    def _two_core_run(self):
+        scenario = Scenario(scheduler="BATCH", features="NFVnice")
+        build_linear_chain(scenario, (120, 300, 550), core=(0, 1, 1))
+        scenario.add_flow("f", "chain", line_rate_fraction=0.5)
+        tracers = {}
+        for core_id in (0, 1):
+            tracers[core_id] = SchedTracer()
+            scenario.manager.core(core_id).tracer = tracers[core_id]
+        scenario.run(0.1)
+        return tracers, scenario
+
+    def test_each_core_traces_only_its_tasks(self):
+        tracers, _ = self._two_core_run()
+        assert {ev.task for ev in tracers[0].events} == {"nf1"}
+        assert {ev.task for ev in tracers[1].events} == {"nf2", "nf3"}
+        for core_id, tracer in tracers.items():
+            assert all(ev.core_id == core_id for ev in tracer.events)
+
+    def test_runtime_by_task_on_nonzero_core(self):
+        tracers, scenario = self._two_core_run()
+        traced = tracers[1].runtime_by_task(core_id=1)
+        assert set(traced) == {"nf2", "nf3"}
+        for name in ("nf2", "nf3"):
+            nf = scenario.manager.nf_by_name(name)
+            assert traced[name] == pytest.approx(nf.stats.runtime_ns, rel=0.2)
+
+    def test_render_timeline_on_nonzero_core(self):
+        tracers, _ = self._two_core_run()
+        art = tracers[1].render_timeline(0, int(0.1 * SEC),
+                                         bucket_ns=5 * MSEC, core_id=1)
+        lines = art.splitlines()
+        assert any(line.startswith("nf2") or line.lstrip().startswith("nf2")
+                   for line in lines)
+        assert all("|" in line for line in lines)
+
+    def test_result_carries_trace_drop_count(self):
+        scenario = Scenario(scheduler="BATCH", features="NFVnice")
+        build_linear_chain(scenario, (120, 550), core=0)
+        scenario.add_flow("f", "chain", line_rate_fraction=0.5)
+        scenario.manager.core(0).tracer = SchedTracer(max_events=10)
+        result = scenario.run(0.05)
+        assert result.sched_trace_dropped > 0
+        assert result_to_dict(result)["sched_trace_dropped"] == \
+            result.sched_trace_dropped
+
 
 class TestExport:
     def test_round_trip(self, tmp_path):
@@ -109,6 +190,33 @@ class TestExport:
         data = result_to_dict(small_result(), include_series=False)
         assert "series" not in data
         json.dumps(data)  # fully JSON-serialisable
+
+    def test_result_from_dict_round_trip(self):
+        result = small_result()
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.scheduler == result.scheduler
+        assert rebuilt.features == result.features
+        assert rebuilt.duration_s == result.duration_s
+        assert rebuilt.total_throughput_pps == result.total_throughput_pps
+        assert rebuilt.sched_trace_dropped == result.sched_trace_dropped
+        assert rebuilt.chains == result.chains
+        assert rebuilt.nfs == result.nfs
+        assert rebuilt.core_utilization == result.core_utilization
+        assert set(rebuilt.series) == set(result.series)
+        for name, ts in result.series.items():
+            assert list(rebuilt.series[name].times) == list(ts.times)
+            assert list(rebuilt.series[name].values) == list(ts.values)
+        # A rebuilt result feeds the same analysis paths as a live one.
+        assert "total throughput" in compare_results(
+            rebuilt, result, "loaded", "live")
+
+    def test_load_result(self, tmp_path):
+        result = small_result()
+        path = save_result(result, tmp_path / "r.json")
+        loaded = load_result(path)
+        assert loaded.chain("chain").completed == \
+            result.chain("chain").completed
+        assert loaded.nf("nf1").processed == result.nf("nf1").processed
 
 
 class TestCompare:
