@@ -5,11 +5,16 @@ Usage::
     python -m repro list
     python -m repro run fig07 --duration 2.0
     python -m repro run tab05
+    python -m repro campaign --workers 4 --baseline BENCH_campaign.json
+    python -m repro campaign fig07 fig11 --workers 2 --baseline B.json --check
     python -m repro topology my_topology.json --duration 1.0
 
 ``run`` prints the same rows the paper's table/figure reports (each
-experiment module's ``main``); ``topology`` builds a declarative JSON
-topology (see :mod:`repro.platform.orchestrator`) and reports per-chain
+experiment module's ``main``); ``campaign`` fans many experiments (and
+the per-configuration cases inside their sweeps) across worker processes
+and maintains a digest/wall-clock regression baseline (see
+``docs/campaigns.md``); ``topology`` builds a declarative JSON topology
+(see :mod:`repro.platform.orchestrator`) and reports per-chain
 throughput.
 """
 
@@ -109,6 +114,98 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.runner.baseline import (
+        check_campaign, load_baseline, write_baseline,
+    )
+    from repro.runner.campaign import run_campaign
+
+    ids = args.experiments or sorted(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}; "
+              f"try: python -m repro list", file=sys.stderr)
+        return 2
+    if args.check and args.baseline is None:
+        print("--check requires --baseline", file=sys.stderr)
+        return 2
+    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+    if workers < 1:
+        print(f"--workers must be >= 1 (got {workers})", file=sys.stderr)
+        return 2
+
+    on_done = None
+    if not args.quiet:
+        def on_done(outcome):
+            print(f"[campaign] {outcome.spec.task_id}: {outcome.status} "
+                  f"({outcome.wall_s:.2f}s, attempt {outcome.attempts})",
+                  file=sys.stderr)
+
+    campaign = run_campaign(
+        ids,
+        workers=workers,
+        duration_s=args.duration,
+        seed=args.seed,
+        task_timeout_s=args.task_timeout,
+        on_task_done=on_done,
+    )
+
+    rows = []
+    for exp_id, report in campaign.experiments.items():
+        tput = report.sim_time_throughput
+        rows.append([
+            exp_id,
+            len(report.tasks),
+            round(report.task_wall_s, 2),
+            round(tput, 2) if tput is not None else "-",
+            report.digest[:12] if report.digest else "-",
+            report.status,
+        ])
+    print(render_table(
+        ["experiment", "tasks", "wall s", "sim s/s", "digest", "status"],
+        rows,
+        title=f"campaign: {len(ids)} experiments, "
+              f"{workers} worker(s), {campaign.elapsed_s:.1f}s elapsed",
+    ))
+    for report in campaign.experiments.values():
+        for failure in report.failures:
+            print(f"[campaign] FAILED {failure}", file=sys.stderr)
+
+    if args.artifacts is not None:
+        os.makedirs(args.artifacts, exist_ok=True)
+        for exp_id, report in campaign.experiments.items():
+            if report.artifact is not None:
+                path = os.path.join(args.artifacts, f"{exp_id}.txt")
+                with open(path, "w") as fh:
+                    fh.write(report.artifact + "\n")
+        print(f"[campaign] artifacts written to {args.artifacts}",
+              file=sys.stderr)
+
+    rc = 0 if campaign.ok else 1
+    if args.baseline is not None:
+        if args.check:
+            try:
+                baseline = load_baseline(args.baseline)
+            except (OSError, ValueError) as exc:
+                print(f"[campaign] cannot load baseline: {exc}",
+                      file=sys.stderr)
+                return 1
+            problems = check_campaign(baseline, campaign,
+                                      max_regression=args.max_regression)
+            for problem in problems:
+                print(f"[campaign] CHECK FAILED {problem}", file=sys.stderr)
+            if problems:
+                rc = 1
+            else:
+                print(f"[campaign] check passed against {args.baseline}")
+        else:
+            write_baseline(args.baseline, campaign)
+            print(f"[campaign] baseline written to {args.baseline}")
+    return rc
+
+
 def _cmd_topology(args: argparse.Namespace) -> int:
     from repro.platform.orchestrator import load_topology
 
@@ -156,6 +253,44 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record one packet-lifecycle span per N packets "
                           "(with --trace/--metrics-out; default 64)")
     run.set_defaults(func=_cmd_run)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run many experiments in parallel worker processes with a "
+             "digest/wall-clock regression baseline")
+    campaign.add_argument("experiments", nargs="*", metavar="experiment",
+                          help="experiment ids (default: all)")
+    campaign.add_argument("--workers", type=int, default=None,
+                          help="worker processes (default: CPU count)")
+    campaign.add_argument("--duration", type=float, default=None,
+                          help="simulated seconds per case (experiment "
+                               "defaults if omitted)")
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="campaign seed; 0 (default) keeps each "
+                               "case's own seed so results match the "
+                               "serial experiments bit-for-bit")
+    campaign.add_argument("--baseline", default=None, metavar="PATH",
+                          help="baseline JSON (e.g. BENCH_campaign.json): "
+                               "written/merged by default, compared with "
+                               "--check")
+    campaign.add_argument("--check", action="store_true",
+                          help="fail on result-digest drift or wall-clock "
+                               "regression against --baseline instead of "
+                               "rewriting it")
+    campaign.add_argument("--max-regression", type=float, default=0.15,
+                          metavar="FRAC",
+                          help="allowed fractional wall-clock growth per "
+                               "experiment in --check mode (default 0.15)")
+    campaign.add_argument("--task-timeout", type=float, default=600.0,
+                          metavar="SEC",
+                          help="per-task timeout; a timed-out task is "
+                               "retried once (default 600)")
+    campaign.add_argument("--artifacts", default=None, metavar="DIR",
+                          help="also write each experiment's rendered "
+                               "artifact to DIR/<id>.txt")
+    campaign.add_argument("--quiet", action="store_true",
+                          help="suppress per-task progress on stderr")
+    campaign.set_defaults(func=_cmd_campaign)
 
     topo = sub.add_parser("topology", help="run a declarative JSON topology")
     topo.add_argument("path", help="path to the topology JSON file")

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.nf import NFProcess
 from repro.metrics.timeseries import IntervalSampler, TimeSeries
@@ -48,6 +48,35 @@ def feature_config(features: str, base: Optional[PlatformConfig] = None,
     cfg = cfg.with_features(cgroups=cgroups, backpressure=backpressure,
                             ecn=cfg.enable_ecn)
     return dataclasses.replace(cfg, **overrides) if overrides else cfg
+
+
+@dataclass
+class CaseSpec:
+    """One independently runnable configuration of a sweep experiment.
+
+    Sweep-style experiment modules expose ``campaign_cases(duration_s)``
+    returning a list of these, plus ``render_cases(results)`` rebuilding
+    the printed artifact from ``{key: ScenarioResult}``.  The campaign
+    runner (:mod:`repro.runner`) fans the cases across worker processes;
+    because every case carries its full configuration — including its RNG
+    seed — in ``kwargs``, a case computes the same result in any process,
+    any order.
+
+    ``key`` is the grid key the module's format functions expect (a tuple
+    or scalar); ``fn`` names a module-level callable returning a
+    :class:`ScenarioResult`; ``kwargs`` must be picklable.
+    """
+
+    key: Any
+    fn: str
+    kwargs: Dict[str, Any]
+
+    @property
+    def label(self) -> str:
+        """Stable string form of ``key`` (baseline files, task logs)."""
+        if isinstance(self.key, tuple):
+            return "|".join(str(part) for part in self.key)
+        return str(self.key)
 
 
 @dataclass

@@ -14,8 +14,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
-from repro.experiments.common import FEATURE_SETS, Scenario, ScenarioResult, \
-    build_linear_chain
+from repro.experiments.common import CaseSpec, FEATURE_SETS, Scenario, \
+    ScenarioResult, build_linear_chain
 from repro.metrics.report import render_table
 
 CHAIN_COSTS = (120.0, 270.0, 550.0)
@@ -43,6 +43,26 @@ def run_grid(
         for sched in schedulers
         for sys in systems
     }
+
+
+def campaign_cases(duration_s: float = 2.0) -> List[CaseSpec]:
+    """The (scheduler x system) grid as independently runnable cases."""
+    return [
+        CaseSpec(key=(sched, system), fn="run_case",
+                 kwargs={"scheduler": sched, "features": system,
+                         "duration_s": duration_s, "seed": 0})
+        for sched in SCHEDULERS
+        for system in SYSTEMS
+    ]
+
+
+def render_cases(results: Dict[Tuple[str, str], ScenarioResult]) -> str:
+    """The full artifact from a completed case grid (same as ``main``)."""
+    return "\n".join([
+        format_figure7(results),
+        format_table3(results),
+        format_table4(results),
+    ])
 
 
 def format_figure7(results: Dict[Tuple[str, str], ScenarioResult]) -> str:
@@ -106,12 +126,7 @@ def format_table4(results: Dict[Tuple[str, str], ScenarioResult]) -> str:
 
 
 def main(duration_s: float = 2.0) -> str:
-    results = run_grid(duration_s=duration_s)
-    return "\n".join([
-        format_figure7(results),
-        format_table3(results),
-        format_table4(results),
-    ])
+    return render_cases(run_grid(duration_s=duration_s))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runs

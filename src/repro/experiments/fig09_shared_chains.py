@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.experiments.common import Scenario, ScenarioResult
+from repro.experiments.common import CaseSpec, Scenario, ScenarioResult
 from repro.metrics.report import render_table
 
 NF_COSTS = {"nf1": 270.0, "nf2": 120.0, "nf3": 4500.0, "nf4": 300.0}
@@ -47,6 +47,19 @@ def run_fig9(duration_s: float = 2.0) -> Dict[str, ScenarioResult]:
         "Default": run_case("Default", duration_s),
         "NFVnice": run_case("NFVnice", duration_s),
     }
+
+
+def campaign_cases(duration_s: float = 2.0) -> List[CaseSpec]:
+    return [
+        CaseSpec(key=system, fn="run_case",
+                 kwargs={"features": system, "duration_s": duration_s,
+                         "seed": 0})
+        for system in ("Default", "NFVnice")
+    ]
+
+
+def render_cases(results: Dict[str, ScenarioResult]) -> str:
+    return "\n".join([format_figure9(results), format_table6(results)])
 
 
 def format_figure9(results: Dict[str, ScenarioResult]) -> str:
@@ -85,8 +98,7 @@ def format_table6(results: Dict[str, ScenarioResult]) -> str:
 
 
 def main(duration_s: float = 2.0) -> str:
-    results = run_fig9(duration_s)
-    return "\n".join([format_figure9(results), format_table6(results)])
+    return render_cases(run_fig9(duration_s))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual runs

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
-from repro.experiments.common import FEATURE_SETS, Scenario, ScenarioResult
+from repro.experiments.common import CaseSpec, FEATURE_SETS, Scenario, \
+    ScenarioResult
 from repro.metrics.report import render_table
 from repro.nfs.cost_models import ChoiceCost
 
@@ -43,6 +44,20 @@ def run_grid(schedulers: Iterable[str] = SCHEDULERS,
         for sched in schedulers
         for sys in systems
     }
+
+
+def campaign_cases(duration_s: float = 2.0) -> List[CaseSpec]:
+    return [
+        CaseSpec(key=(sched, system), fn="run_case",
+                 kwargs={"scheduler": sched, "features": system,
+                         "duration_s": duration_s, "seed": 0})
+        for sched in SCHEDULERS
+        for system in SYSTEMS
+    ]
+
+
+def render_cases(results: Dict[Tuple[str, str], ScenarioResult]) -> str:
+    return format_figure10(results)
 
 
 def format_figure10(results: Dict[Tuple[str, str], ScenarioResult]) -> str:

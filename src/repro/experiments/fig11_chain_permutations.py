@@ -14,7 +14,8 @@ from __future__ import annotations
 from itertools import permutations
 from typing import Dict, Iterable, List, Tuple
 
-from repro.experiments.common import Scenario, ScenarioResult, build_linear_chain
+from repro.experiments.common import CaseSpec, Scenario, ScenarioResult, \
+    build_linear_chain
 from repro.metrics.report import render_table
 
 COSTS = {"Low": 120.0, "Med": 270.0, "High": 550.0}
@@ -49,6 +50,23 @@ def run_grid(
         for sched in schedulers
         for system in systems
     }
+
+
+def campaign_cases(duration_s: float = 1.0) -> List[CaseSpec]:
+    """One case per (ordering, scheduler, system) cell of the figure."""
+    return [
+        CaseSpec(key=(order_label(order), sched, system), fn="run_case",
+                 kwargs={"order": order, "scheduler": sched,
+                         "features": system, "duration_s": duration_s,
+                         "seed": 0})
+        for order in ORDERS
+        for sched in SCHEDULERS
+        for system in SYSTEMS
+    ]
+
+
+def render_cases(results: Dict[Tuple[str, str, str], ScenarioResult]) -> str:
+    return format_figure11(results)
 
 
 def format_figure11(results: Dict[Tuple[str, str, str], ScenarioResult]) -> str:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
-from repro.experiments.common import Scenario, ScenarioResult
+from repro.experiments.common import CaseSpec, Scenario, ScenarioResult
 from repro.metrics.report import render_table
 from repro.platform.nic import line_rate_pps
 
@@ -48,6 +48,24 @@ def run_grid(types: Iterable[int] = TYPES,
         for sched in schedulers
         for system in systems
     }
+
+
+def campaign_cases(duration_s: float = 1.0) -> List[CaseSpec]:
+    """One case per (workload type, scheduler, system); ``seed=t`` matches
+    the serial :func:`run_grid` exactly."""
+    return [
+        CaseSpec(key=(t, sched, system), fn="run_case",
+                 kwargs={"n_flows": t, "scheduler": sched,
+                         "features": system, "duration_s": duration_s,
+                         "seed": t})
+        for t in TYPES
+        for sched in SCHEDULERS
+        for system in SYSTEMS
+    ]
+
+
+def render_cases(results: Dict[Tuple[int, str, str], ScenarioResult]) -> str:
+    return format_figure12(results)
 
 
 def format_figure12(results: Dict[Tuple[int, str, str], ScenarioResult]) -> str:

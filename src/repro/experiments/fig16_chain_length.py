@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import Scenario, ScenarioResult, build_linear_chain
+from repro.experiments.common import CaseSpec, Scenario, ScenarioResult, \
+    build_linear_chain
 from repro.metrics.report import render_table
 
 BASE_COSTS = (120.0, 270.0, 550.0)
@@ -43,6 +44,22 @@ def run_fig16(duration_s: float = 1.0
         for placement in ("SC", "MC")
         for system in ("Default", "NFVnice")
     }
+
+
+def campaign_cases(duration_s: float = 1.0) -> List[CaseSpec]:
+    return [
+        CaseSpec(key=(length, placement, system), fn="run_case",
+                 kwargs={"length": length, "placement": placement,
+                         "features": system, "duration_s": duration_s,
+                         "seed": 0})
+        for length in LENGTHS
+        for placement in ("SC", "MC")
+        for system in ("Default", "NFVnice")
+    ]
+
+
+def render_cases(results: Dict[Tuple[int, str, str], ScenarioResult]) -> str:
+    return format_figure16(results)
 
 
 def format_figure16(results: Dict[Tuple[int, str, str], ScenarioResult]) -> str:

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.experiments.common import Scenario, ScenarioResult, build_linear_chain
+from repro.experiments.common import CaseSpec, Scenario, ScenarioResult, \
+    build_linear_chain
 from repro.metrics.report import render_table
 
 CHAIN_COSTS = (550.0, 2200.0, 4500.0)
@@ -31,6 +32,19 @@ def run_table5(duration_s: float = 2.0) -> Dict[str, ScenarioResult]:
         "Default": run_case("Default", duration_s),
         "NFVnice": run_case("NFVnice", duration_s),
     }
+
+
+def campaign_cases(duration_s: float = 2.0) -> List[CaseSpec]:
+    return [
+        CaseSpec(key=system, fn="run_case",
+                 kwargs={"features": system, "duration_s": duration_s,
+                         "seed": 0})
+        for system in ("Default", "NFVnice")
+    ]
+
+
+def render_cases(results: Dict[str, ScenarioResult]) -> str:
+    return format_table5(results)
 
 
 def format_table5(results: Dict[str, ScenarioResult]) -> str:

@@ -1,0 +1,35 @@
+"""Canonical result digests.
+
+A digest is a SHA-256 over a *canonical* JSON encoding (sorted keys, no
+whitespace) of a task's result payload.  Canonicalisation makes the digest
+independent of dict insertion order, process identity and
+``PYTHONHASHSEED`` — two runs produce the same digest if and only if they
+produced bit-identical results, which is what the campaign runner's
+``--check`` mode and the determinism tests assert.
+
+Floats serialise through ``repr`` (shortest round-trip form), so any
+difference in the 64-bit value changes the digest: this is an exact-match
+scheme, not a tolerance scheme, by design — the simulator is fully
+deterministic and drift of even one ULP means behaviour changed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Iterable
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding of a JSON-compatible value."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def digest_of(value: Any) -> str:
+    """SHA-256 hex digest of ``value``'s canonical JSON form."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def combine_digests(parts: Iterable[str]) -> str:
+    """Order-sensitive digest of per-task digests (one per line)."""
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()

@@ -1,0 +1,146 @@
+"""A crash-isolated process pool for campaign tasks.
+
+Each task runs in its own worker process (fork where the platform has it,
+spawn otherwise), up to ``workers`` concurrently.  Unlike
+``concurrent.futures.ProcessPoolExecutor`` — where one dying worker breaks
+the whole pool — a worker here owns exactly one task attempt, so a crash,
+hang or unpicklable explosion costs that attempt and nothing else.
+
+Failure semantics: every task gets at most two attempts (retry-once).  An
+attempt fails by raising (the worker reports an ``error`` payload), by
+exceeding the per-task timeout (the parent terminates it), or by dying
+without publishing a result (crash).  The second failure marks the task
+failed and the campaign carries on.
+
+Results are returned **in task order** regardless of completion order, so
+downstream aggregation is bit-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.runner.tasks import TaskSpec
+from repro.runner.worker import child_entry
+
+#: Parent-side reap interval; tasks take >= milliseconds, so 10 ms of
+#: polling granularity is invisible in campaign wall time.
+_POLL_S = 0.01
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task across its (up to two) attempts."""
+
+    spec: TaskSpec
+    status: str                      # "ok" | "error" | "timeout" | "crashed"
+    payload: Optional[dict] = None   # worker payload when status == "ok"
+    wall_s: float = 0.0              # in-worker execution time (last attempt)
+    attempts: int = 0
+    error: Optional[str] = None
+    statuses: List[str] = field(default_factory=list)  # per-attempt history
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def default_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def run_tasks(
+    specs: List[TaskSpec],
+    workers: int = 1,
+    timeout_s: float = 600.0,
+    start_method: Optional[str] = None,
+    on_done: Optional[Callable[[TaskOutcome], None]] = None,
+) -> List[TaskOutcome]:
+    """Run ``specs`` across ``workers`` processes; results in spec order."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if timeout_s <= 0:
+        raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+    ctx = multiprocessing.get_context(start_method or default_start_method())
+    outcomes: List[Optional[TaskOutcome]] = [None] * len(specs)
+    history: Dict[int, List[str]] = {i: [] for i in range(len(specs))}
+    queue = deque((i, 1) for i in range(len(specs)))  # (index, attempt#)
+    # proc -> (index, attempt, out_path, deadline)
+    running: Dict[multiprocessing.process.BaseProcess, Tuple] = {}
+
+    def finish(index: int, attempt: int, status: str, payload: Optional[dict],
+               error: Optional[str]) -> None:
+        history[index].append(status)
+        if status != "ok" and attempt == 1:
+            queue.append((index, 2))    # retry-once
+            return
+        outcomes[index] = TaskOutcome(
+            spec=specs[index],
+            status=status,
+            payload=payload if status == "ok" else None,
+            wall_s=(payload or {}).get("wall_s", 0.0),
+            attempts=attempt,
+            error=error,
+            statuses=list(history[index]),
+        )
+        if on_done is not None:
+            on_done(outcomes[index])
+
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-") as tmpdir:
+        while queue or running:
+            while queue and len(running) < workers:
+                index, attempt = queue.popleft()
+                out_path = os.path.join(tmpdir, f"task-{index}-{attempt}.json")
+                proc = ctx.Process(
+                    target=child_entry,
+                    args=(specs[index].to_wire(), out_path),
+                    daemon=True,
+                )
+                proc.start()
+                running[proc] = (index, attempt, out_path,
+                                 time.monotonic() + timeout_s)
+            if not running:
+                continue
+            time.sleep(_POLL_S)
+            now = time.monotonic()
+            for proc in list(running):
+                index, attempt, out_path, deadline = running[proc]
+                if proc.is_alive():
+                    if now < deadline:
+                        continue
+                    proc.terminate()
+                    proc.join(5.0)
+                    if proc.is_alive():    # pragma: no cover - stuck in kernel
+                        proc.kill()
+                        proc.join()
+                    del running[proc]
+                    finish(index, attempt, "timeout", None,
+                           f"exceeded {timeout_s:g}s task timeout")
+                    continue
+                proc.join()
+                del running[proc]
+                status, payload, error = _read_result(out_path, proc.exitcode)
+                finish(index, attempt, status, payload, error)
+    assert all(o is not None for o in outcomes)
+    return outcomes  # type: ignore[return-value]
+
+
+def _read_result(out_path: str, exitcode: Optional[int]
+                 ) -> Tuple[str, Optional[dict], Optional[str]]:
+    try:
+        with open(out_path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return ("crashed", None,
+                f"worker died without a result (exit code {exitcode})")
+    if payload.get("kind") == "error":
+        return "error", None, payload.get("error", "unknown task error")
+    return "ok", payload, None

@@ -1,0 +1,64 @@
+"""Worker-side task execution.
+
+``run_task_wire`` is pure (spec in, payload dict out) and is also used
+in-process by tests; ``child_entry`` wraps it for a worker subprocess,
+writing the payload as JSON to a result file the parent reads back after
+the process exits.  Files (not pipes) carry results so a worker that is
+killed mid-write can never deadlock the parent, and a partially written
+file is never observed — the write goes to a temp name and is atomically
+renamed into place.
+
+Any exception inside the task is caught and reported as an ``error``
+payload; the worker still exits 0.  Only a hard crash (segfault, kill,
+``os._exit``) leaves no result file, which the parent treats as a crashed
+task — crash isolation means a dying worker fails its task, never the
+campaign.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+import time
+import traceback
+from typing import Any, Dict
+
+
+def run_task_wire(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one wire-format task spec; never raises."""
+    t0 = time.perf_counter()
+    try:
+        module = importlib.import_module(spec["module"])
+        fn = getattr(module, spec["fn"])
+        value = fn(**spec["kwargs"])
+        payload = _encode_result(value)
+    except Exception:
+        payload = {"kind": "error", "error": traceback.format_exc()}
+    payload["wall_s"] = time.perf_counter() - t0
+    return payload
+
+
+def _encode_result(value: Any) -> Dict[str, Any]:
+    from repro.experiments.common import ScenarioResult
+
+    if isinstance(value, ScenarioResult):
+        from repro.analysis.export import result_to_dict
+
+        return {"kind": "scenario", "value": result_to_dict(value)}
+    if isinstance(value, str):
+        return {"kind": "text", "value": value}
+    return {
+        "kind": "error",
+        "error": f"task returned unsupported type {type(value).__name__}; "
+                 f"expected ScenarioResult or str",
+    }
+
+
+def child_entry(spec: Dict[str, Any], out_path: str) -> None:
+    """Subprocess target: run the task, atomically publish the payload."""
+    payload = run_task_wire(spec)
+    tmp_path = out_path + ".tmp"
+    with open(tmp_path, "w") as fh:
+        json.dump(payload, fh)
+    os.replace(tmp_path, out_path)

@@ -5,6 +5,14 @@ entries.  Cancellation is lazy — a cancelled handle stays in the heap and is
 skipped when popped — because schedulers and cores re-plan the running task
 frequently (every enqueue to a running NF invalidates its predicted yield
 time) and eager heap removal would dominate the run time.
+
+Lazy cancellation must not let dead entries pile up without bound, though:
+a re-plan-heavy run that cancels far-future events faster than the clock
+reaches them would otherwise grow the heap forever.  When cancelled
+entries outnumber live ones (and the heap is big enough to care), the heap
+is compacted in place — an O(n) filter + heapify amortised against the
+O(n) of cancellations it takes to get there.  Entries keep their
+``(time, sequence)`` ranks, so compaction never changes event order.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ class EventHandle:
         self._loop._live_events -= 1
         # Drop the reference so large closures are collectable immediately.
         self.callback = _noop
+        self._loop._maybe_compact()
 
 
 def _noop() -> None:
@@ -46,6 +55,10 @@ class EventLoop:
     (a monotonically increasing sequence number breaks ties), which makes
     runs fully deterministic.
     """
+
+    #: Heaps smaller than this are never compacted — the churn would cost
+    #: more than the memory it reclaims.
+    _COMPACT_MIN_SIZE = 64
 
     def __init__(self) -> None:
         self.now: int = 0
@@ -87,6 +100,9 @@ class EventLoop:
             t, _seq, handle = heapq.heappop(heap)
             if handle.cancelled:
                 continue
+            # Mark fired so a late cancel() is a no-op instead of a
+            # double-decrement of the live counter.
+            handle.cancelled = True
             self._live_events -= 1
             self.now = t
             handle.callback()
@@ -108,6 +124,7 @@ class EventLoop:
             heapq.heappop(heap)
             if handle.cancelled:
                 continue
+            handle.cancelled = True  # fired; see step()
             self._live_events -= 1
             self.now = t
             handle.callback()
@@ -122,6 +139,23 @@ class EventLoop:
             if max_events is not None and count >= max_events:
                 break
         return count
+
+    # ------------------------------------------------------------------
+    # Heap hygiene
+    # ------------------------------------------------------------------
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once cancelled entries outnumber live ones.
+
+        Every heap entry is either live or cancelled (fired entries are
+        popped), so the dead count is ``len(heap) - _live_events``.
+        """
+        heap = self._heap
+        if len(heap) < self._COMPACT_MIN_SIZE:
+            return
+        if len(heap) - self._live_events <= len(heap) // 2:
+            return
+        self._heap = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,94 @@
+"""Golden-run determinism: results must not depend on the process.
+
+PR 1 fixed a ``PYTHONHASHSEED``-dependent iteration order in
+``BackpressureController._watch``; these tests lock that in by running
+the same experiment case in subprocesses with *different* hash seeds and
+asserting identical canonical result digests.  The same machinery
+underpins the campaign runner's parallel == serial guarantee, so these
+are the trust anchor for ``python -m repro campaign``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+#: Tiny simulated horizon: enough events to exercise backpressure and
+#: scheduling, small enough to keep each subprocess under a second.
+DURATION_S = 0.05
+
+_SNIPPETS = {
+    "fig07": (
+        "from repro.experiments.fig07_single_core_chain import run_case\n"
+        "from repro.analysis.export import result_to_dict\n"
+        "from repro.runner.digest import digest_of\n"
+        f"res = run_case('NORMAL', 'NFVnice', duration_s={DURATION_S})\n"
+        "print(digest_of(result_to_dict(res)))\n"
+    ),
+    "fig09": (
+        "from repro.experiments.fig09_shared_chains import run_case\n"
+        "from repro.analysis.export import result_to_dict\n"
+        "from repro.runner.digest import digest_of\n"
+        f"res = run_case('NFVnice', duration_s={DURATION_S})\n"
+        "print(digest_of(result_to_dict(res)))\n"
+    ),
+}
+
+
+def _digest_in_subprocess(snippet: str, hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-c", snippet],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+@pytest.mark.parametrize("experiment", sorted(_SNIPPETS))
+def test_golden_run_digest_invariant_under_hash_seed(experiment):
+    """Two interpreters with different PYTHONHASHSEED values produce
+    bit-identical results for the same experiment case."""
+    snippet = _SNIPPETS[experiment]
+    d1 = _digest_in_subprocess(snippet, "0")
+    d2 = _digest_in_subprocess(snippet, "424242")
+    assert len(d1) == 64  # a real sha256, not an error string
+    assert d1 == d2, (
+        f"{experiment} result digest depends on PYTHONHASHSEED "
+        f"({d1[:12]}… vs {d2[:12]}…) — an unordered container is leaking "
+        f"iteration order into simulation behaviour")
+
+
+def test_digest_is_insertion_order_invariant():
+    """The canonical digest itself must not care about dict key order."""
+    from repro.runner.digest import digest_of
+
+    a = {"x": 1.5, "y": [1, 2, 3], "z": {"k": "v", "j": 2}}
+    b = {"z": {"j": 2, "k": "v"}, "y": [1, 2, 3], "x": 1.5}
+    assert digest_of(a) == digest_of(b)
+    assert digest_of(a) != digest_of({**a, "x": 1.5000000000000002})
+
+
+def test_same_process_repeat_run_is_identical():
+    """Re-running the same case twice in one interpreter matches exactly —
+    no hidden global state bleeds between Scenario instances."""
+    from repro.analysis.export import result_to_dict
+    from repro.experiments.fig07_single_core_chain import run_case
+    from repro.runner.digest import digest_of
+
+    first = digest_of(result_to_dict(
+        run_case("BATCH", "NFVnice", duration_s=DURATION_S)))
+    second = digest_of(result_to_dict(
+        run_case("BATCH", "NFVnice", duration_s=DURATION_S)))
+    assert first == second

@@ -1,8 +1,11 @@
 """Unit tests for the discrete-event loop."""
 
+import gc
+import weakref
+
 import pytest
 
-from repro.sim.engine import EventLoop
+from repro.sim.engine import EventLoop, _noop
 
 
 class TestScheduling:
@@ -96,6 +99,118 @@ class TestCancellation:
         h1.cancel()
         loop.run()
         assert fired == [2]
+
+
+class TestLazyCancelAccounting:
+    """Edge cases of lazy cancellation: counters, same-instant ordering,
+    reference release, and heap compaction."""
+
+    def test_live_events_never_negative(self, loop):
+        handles = [loop.schedule(100 + i, lambda: None) for i in range(8)]
+        for h in handles:
+            h.cancel()
+            h.cancel()     # idempotent: second cancel must not re-decrement
+            assert loop.pending >= 0
+        assert loop.pending == 0
+        loop.run()
+        assert loop.pending == 0
+
+    def test_cancel_after_fire_is_noop(self, loop):
+        handle = loop.schedule(100, lambda: None)
+        loop.run()
+        assert loop.pending == 0
+        handle.cancel()            # late cancel of a fired handle
+        assert loop.pending == 0   # must not drive the counter negative
+
+    def test_cancel_then_reschedule_same_timestamp(self, loop):
+        """A cancelled handle is skipped even when a fresh event lands at
+        the exact same instant (the re-plan idiom in Core dispatch)."""
+        fired = []
+        stale = loop.schedule(100, lambda: fired.append("stale"))
+        stale.cancel()
+        loop.schedule(100, lambda: fired.append("fresh"))
+        loop.run()
+        assert fired == ["fresh"]
+        assert loop.now == 100
+
+    def test_cancel_during_same_instant_callback(self, loop):
+        """An event cancelled by an earlier event at the same timestamp
+        must not fire."""
+        fired = []
+        second = loop.schedule(100, lambda: fired.append(2))
+
+        def first():
+            fired.append(1)
+            second.cancel()
+
+        loop.call_at(100, first)
+        loop.run()
+        # `second` was scheduled before `first` so it fires first; FIFO
+        # order at equal timestamps is by scheduling sequence.
+        assert fired == [2, 1]
+
+    def test_earlier_scheduled_event_can_cancel_later_same_instant(self, loop):
+        fired = []
+        hit = []
+
+        def first():
+            fired.append("first")
+            hit[0].cancel()
+
+        loop.schedule(100, first)
+        hit.append(loop.schedule(100, lambda: fired.append("second")))
+        loop.run()
+        assert fired == ["first"]
+
+    def test_cancel_releases_callback_reference(self, loop):
+        class Payload:
+            pass
+
+        payload = Payload()
+        ref = weakref.ref(payload)
+        handle = loop.schedule(100, lambda payload=payload: None)
+        del payload
+        gc.collect()
+        assert ref() is not None       # closure keeps it alive while live
+        handle.cancel()
+        gc.collect()
+        assert ref() is None           # cancel drops the closure immediately
+        assert handle.callback is _noop
+
+    def test_compaction_bounds_heap_in_replan_heavy_run(self, loop):
+        """The re-plan pattern — schedule far ahead, cancel, repeat — must
+        not grow the heap without bound."""
+        keeper = loop.schedule(10**9, lambda: None)  # one long-lived event
+        for i in range(10_000):
+            handle = loop.schedule(10**6 + i, lambda: None)
+            handle.cancel()
+        assert loop.pending == 1
+        # Without compaction the heap would hold ~10_001 entries.
+        assert len(loop._heap) <= EventLoop._COMPACT_MIN_SIZE
+        keeper.cancel()
+
+    def test_compaction_preserves_event_order(self, loop):
+        """Compaction mid-stream must not perturb firing order."""
+        fired = []
+        for i in range(200):
+            loop.schedule(1000 + i, (lambda v: lambda: fired.append(v))(i))
+        # Cancel every odd event to trigger at least one compaction.
+        cancels = [loop.schedule(5000 + i, lambda: None) for i in range(300)]
+        for h in cancels:
+            h.cancel()
+        loop.run()
+        assert fired == list(range(200))
+        assert loop.pending == 0
+
+    def test_small_heaps_are_not_compacted(self, loop):
+        """Below the size floor the heap keeps dead entries (cheaper)."""
+        live = loop.schedule(100, lambda: None)
+        dead = [loop.schedule(200 + i, lambda: None) for i in range(10)]
+        for h in dead:
+            h.cancel()
+        assert len(loop._heap) == 11
+        assert loop.pending == 1
+        live.cancel()
 
 
 class TestRunUntil:

@@ -126,6 +126,42 @@ def test_random_operations_preserve_invariants(ops):
         assert [k for k, _ in tree.items()] == sorted(reference)
 
 
+@given(st.lists(st.tuples(st.sampled_from(["ins", "del", "upd"]),
+                          st.integers(0, 30)), max_size=150))
+@settings(max_examples=150, deadline=None)
+def test_insert_remove_update_sequences_preserve_invariants(ops):
+    """The CFS usage pattern: a task's key (vruntime) is *updated* by
+    removing its node and reinserting under the new key.  Any interleaving
+    of inserts, removes and updates must keep RB invariants, match a
+    sorted reference model, and keep the leftmost pointer exact."""
+    tree = RBTree()
+    nodes = {}     # node -> current key (the tree node is the identity)
+    next_id = 0
+    for op, key in ops:
+        if op == "ins" or not nodes:
+            node = tree.insert(key, f"task{next_id}")
+            next_id += 1
+            nodes[node] = key
+        elif op == "del":
+            victim = sorted(nodes, key=lambda n: (nodes[n], n.seq))[
+                key % len(nodes)]
+            tree.remove(victim)
+            del nodes[victim]
+        else:  # upd: reinsert under a new key, keeping the payload
+            victim = sorted(nodes, key=lambda n: (nodes[n], n.seq))[
+                key % len(nodes)]
+            payload = victim.value
+            tree.remove(victim)
+            del nodes[victim]
+            node = tree.insert(key + 0.5, payload)  # vruntime advanced
+            nodes[node] = key + 0.5
+        assert len(tree) == len(nodes)
+        check_rb_invariants(tree)
+        assert [k for k, _ in tree.items()] == sorted(nodes.values())
+        if nodes:
+            assert tree.min_key() == min(nodes.values())
+
+
 @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
                           width=32), min_size=1, max_size=60))
 @settings(max_examples=100, deadline=None)
