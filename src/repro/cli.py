@@ -128,6 +128,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"unknown experiment id(s): {', '.join(unknown)}; "
               f"try: python -m repro list", file=sys.stderr)
         return 2
+    duplicates = sorted({i for i in ids if ids.count(i) > 1})
+    if duplicates:
+        print(f"duplicate experiment id(s): {', '.join(duplicates)}",
+              file=sys.stderr)
+        return 2
     if args.check and args.baseline is None:
         print("--check requires --baseline", file=sys.stderr)
         return 2

@@ -116,14 +116,22 @@ def run_tasks(
                 if proc.is_alive():
                     if now < deadline:
                         continue
+                    # The worker publishes its payload atomically before
+                    # exiting, so a result that landed right at the deadline
+                    # is a finished task whose process just hasn't been
+                    # reaped yet — honour it rather than burning the retry.
+                    status, payload, error = _read_result(out_path, None)
                     proc.terminate()
                     proc.join(5.0)
                     if proc.is_alive():    # pragma: no cover - stuck in kernel
                         proc.kill()
                         proc.join()
                     del running[proc]
-                    finish(index, attempt, "timeout", None,
-                           f"exceeded {timeout_s:g}s task timeout")
+                    if status == "crashed":    # nothing published: real timeout
+                        finish(index, attempt, "timeout", None,
+                               f"exceeded {timeout_s:g}s task timeout")
+                    else:
+                        finish(index, attempt, status, payload, error)
                     continue
                 proc.join()
                 del running[proc]

@@ -154,8 +154,13 @@ class EventLoop:
             return
         if len(heap) - self._live_events <= len(heap) // 2:
             return
-        self._heap = [entry for entry in heap if not entry[2].cancelled]
-        heapq.heapify(self._heap)
+        # Compact *in place*: step()/run_until() hold a local alias to the
+        # heap list while draining it, and cancel() — hence compaction — runs
+        # from inside event callbacks.  Rebinding self._heap would strand
+        # those aliases on the stale list and silently drop every event
+        # scheduled after the compaction.
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -32,6 +32,19 @@ def sleepy(duration_s: float = 0.0, sleep_s: float = 30.0) -> str:
     return "finally awake"
 
 
+def publish_then_hang(spec: dict, out_path: str) -> None:
+    """``child_entry`` double: publish the result, then refuse to exit.
+
+    Stands in for a worker whose task finishes right at the timeout
+    boundary — the payload is on disk but the process is still alive when
+    the parent's deadline check fires.
+    """
+    from repro.runner.worker import child_entry
+
+    child_entry(spec, out_path)
+    time.sleep(30.0)
+
+
 def flaky(marker_path: str = "", duration_s: float = 0.0) -> str:
     """Fail on the first attempt, succeed on the retry.
 

@@ -27,6 +27,11 @@ def test_run_unknown_experiment(capsys):
     assert "unknown experiment" in capsys.readouterr().err
 
 
+def test_campaign_duplicate_ids_rejected(capsys):
+    assert main(["campaign", "tab05", "tab05"]) == 2
+    assert "duplicate experiment id(s): tab05" in capsys.readouterr().err
+
+
 def test_run_experiment(capsys):
     assert main(["run", "tab05", "--duration", "0.2"]) == 0
     out = capsys.readouterr().out

@@ -202,6 +202,25 @@ class TestLazyCancelAccounting:
         assert fired == list(range(200))
         assert loop.pending == 0
 
+    def test_compaction_in_callback_during_run_until(self, loop):
+        """Regression: cancel() runs from event callbacks, and run_until()
+        holds a local alias to the heap list while draining it.  Compaction
+        must therefore rebuild the heap in place — a rebind would strand the
+        drain loop on the stale list and silently drop every event scheduled
+        after the compaction."""
+        fired = []
+        victims = [loop.schedule(10**6 + i, lambda: None) for i in range(200)]
+
+        def replan():
+            for h in victims:     # >half the heap dead -> compaction fires
+                h.cancel()
+            loop.schedule(10, lambda: fired.append("after"))
+
+        loop.schedule(5, replan)
+        loop.run_until(1000)
+        assert fired == ["after"]
+        assert loop.pending == 0
+
     def test_small_heaps_are_not_compacted(self, loop):
         """Below the size floor the heap keeps dead entries (cheaper)."""
         live = loop.schedule(100, lambda: None)

@@ -105,6 +105,20 @@ class TestPool:
         assert outcomes[0].attempts == 2
         assert outcomes[0].statuses == ["timeout", "timeout"]
 
+    def test_result_published_by_deadline_is_honoured(self, monkeypatch):
+        """A payload published before the deadline is a success even when
+        the worker process is still alive at the timeout check — the task
+        completed; only the process reap is late."""
+        import repro.runner.pool as pool_mod
+        from tests.runner_helpers import publish_then_hang
+
+        monkeypatch.setattr(pool_mod, "child_entry", publish_then_hang)
+        specs = [helper_task("ok_text", label="slow-exit")]
+        outcomes = run_tasks(specs, workers=1, timeout_s=0.5)
+        assert outcomes[0].ok
+        assert outcomes[0].attempts == 1
+        assert outcomes[0].payload["value"] == "artifact for 0.0"
+
     def test_flaky_task_recovers_on_retry(self, tmp_path):
         marker = tmp_path / "marker"
         specs = [helper_task("flaky", label="flaky",
