@@ -1,0 +1,94 @@
+"""CI smoke test for the fault-injection subsystem.
+
+Runs a short ``chaos_recovery`` campaign (every fault kind x detection
+period x recovery policy case) with two workers and checks the
+per-experiment digest against the committed baseline
+``benchmarks/BENCH_chaos.json`` — the chaos pipeline is deterministic,
+so any digest drift means fault mechanics, detection, or recovery
+behaviour changed and the baseline must be consciously regenerated::
+
+    PYTHONPATH=src python benchmarks/chaos_smoke.py            # check
+    PYTHONPATH=src python benchmarks/chaos_smoke.py --write    # regen
+
+The committed baseline stores ``task_wall_s`` as 0 on purpose: the
+digest check is machine-independent, wall-clock is not, and
+``check_campaign`` skips the wall comparison for zero baselines.
+
+Environment: ``REPRO_CHAOS_DURATION`` overrides the simulated seconds
+per case (default 0.1 — must match the committed baseline when
+checking).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runner.baseline import (     # noqa: E402
+    SCHEMA_VERSION, check_campaign, load_baseline,
+)
+from repro.runner.campaign import run_campaign  # noqa: E402
+
+BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_chaos.json")
+DEFAULT_DURATION = 0.1
+
+
+def main() -> int:
+    write = "--write" in sys.argv[1:]
+    duration = float(os.environ.get("REPRO_CHAOS_DURATION",
+                                    str(DEFAULT_DURATION)))
+
+    print(f"[chaos-smoke] chaos_recovery campaign at {duration}s per case")
+    campaign = run_campaign(["chaos_recovery"], workers=2,
+                            duration_s=duration, task_timeout_s=300.0)
+    report = campaign.experiments["chaos_recovery"]
+    if not report.ok:
+        for failure in report.failures:
+            print(f"[chaos-smoke] FAIL {failure}")
+        return 1
+    print(f"[chaos-smoke] {len(report.tasks)} cases ok, "
+          f"digest {report.digest[:12]}…")
+
+    if write:
+        data = {
+            "version": SCHEMA_VERSION,
+            "experiments": {
+                "chaos_recovery": {
+                    "digest": report.digest,
+                    # Zeroed on purpose: digests travel between machines,
+                    # wall clocks do not (check_campaign skips wall
+                    # comparison when the baseline records 0).
+                    "task_wall_s": 0.0,
+                    "sim_seconds": report.sim_seconds,
+                    "sim_time_throughput": None,
+                    "tasks": len(report.tasks),
+                },
+            },
+        }
+        with open(BASELINE, "w") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[chaos-smoke] baseline written to {BASELINE}")
+        return 0
+
+    try:
+        baseline = load_baseline(BASELINE)
+    except (OSError, ValueError) as exc:
+        print(f"[chaos-smoke] cannot load baseline: {exc}")
+        return 1
+    problems = check_campaign(baseline, campaign)
+    for problem in problems:
+        print(f"[chaos-smoke] CHECK FAILED {problem}")
+    if problems:
+        print("[chaos-smoke] regenerate with --write if the change is "
+              "intentional")
+        return 1
+    print(f"[chaos-smoke] check passed against {BASELINE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,7 @@ def result_to_dict(result: ScenarioResult,
                 for name, n in result.nfs.items()},
         "core_utilization": {str(k): v
                              for k, v in result.core_utilization.items()},
+        "resilience": result.resilience,
     }
     if include_series:
         out["series"] = {
@@ -97,6 +98,7 @@ def result_from_dict(data: Dict[str, Any]) -> ScenarioResult:
                           for k, v in data.get("core_utilization", {}).items()},
         series=series,
         sched_trace_dropped=int(data.get("sched_trace_dropped", 0)),
+        resilience=data.get("resilience", {}),
     )
 
 

@@ -65,6 +65,8 @@ EXPERIMENTS: Dict[str, tuple] = {
                   "Sec 3.3: cross-host chain with ECN signalling"),
     "coop": ("repro.experiments.cooperative_comparison",
              "Sec 5: cooperative (L-thread) scheduling comparison"),
+    "chaos_recovery": ("repro.experiments.chaos_recovery",
+                       "Chaos: fault kind x detection x recovery policy"),
 }
 
 
@@ -103,9 +105,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             span_sample_rate=args.span_sample_rate,
         )
         activate_session(session)
+    plan_active = False
+    if args.fault_plan is not None:
+        from repro.faults.plan import FaultPlan, activate_plan
+
+        try:
+            plan = FaultPlan.from_file(args.fault_plan)
+        except (OSError, ValueError, RuntimeError) as exc:
+            print(f"cannot load fault plan: {exc}", file=sys.stderr)
+            return 2
+        activate_plan(plan)
+        plan_active = True
     try:
         print(module.main(**kwargs))
     finally:
+        if plan_active:
+            from repro.faults.plan import deactivate_plan
+
+            deactivate_plan()
         if session is not None:
             deactivate_session()
             summary = session.finalize()
@@ -215,6 +232,17 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     from repro.platform.orchestrator import load_topology
 
     topology = load_topology(args.path, seed=args.seed)
+    if args.fault_plan is not None and topology.manager.faults is None:
+        from repro.faults.plan import FaultPlan
+        from repro.sim.rng import RngFactory
+
+        try:
+            plan = FaultPlan.from_file(args.fault_plan)
+        except (OSError, ValueError, RuntimeError) as exc:
+            print(f"cannot load fault plan: {exc}", file=sys.stderr)
+            return 2
+        topology.manager.attach_faults(
+            plan, rng=RngFactory(args.seed).stream("faults"))
     topology.run(args.duration or 1.0)
     duration = args.duration or 1.0
     rows = []
@@ -229,6 +257,13 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         ["chain", "tput Mpps", "wasted Mpps", "entry-drop Mpps"], rows,
         title=f"topology {args.path} ({duration:g}s simulated)",
     ))
+    faults = topology.manager.faults
+    if faults is not None:
+        s = faults.summary(horizon_ns=int(duration * 1e9))
+        print(f"[faults] injected={s['injected']} detected={s['detected']} "
+              f"recovered={s['recovered']} gave_up={s['gave_up']} "
+              f"lost={s['packets_lost']} requeued={s['packets_requeued']} "
+              f"availability={s['availability']:.4f}")
     return 0
 
 
@@ -257,6 +292,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--span-sample-rate", type=int, default=64, metavar="N",
                      help="record one packet-lifecycle span per N packets "
                           "(with --trace/--metrics-out; default 64)")
+    run.add_argument("--fault-plan", default=None, metavar="PATH",
+                     help="inject faults from a JSON/YAML FaultPlan into "
+                          "every scenario the experiment builds (see "
+                          "docs/faults.md)")
     run.set_defaults(func=_cmd_run)
 
     campaign = sub.add_parser(
@@ -301,6 +340,10 @@ def build_parser() -> argparse.ArgumentParser:
     topo.add_argument("path", help="path to the topology JSON file")
     topo.add_argument("--duration", type=float, default=1.0)
     topo.add_argument("--seed", type=int, default=0)
+    topo.add_argument("--fault-plan", default=None, metavar="PATH",
+                      help="inject faults from a JSON/YAML FaultPlan "
+                           "(ignored if the topology has its own "
+                           "'faults' section)")
     topo.set_defaults(func=_cmd_topology)
     return parser
 

@@ -42,6 +42,17 @@ class LibnfAPI:
         accepted, _dropped, _hi = self.nf.tx_ring.enqueue(flow, count, now_ns)
         return accepted
 
+    # -- liveness --------------------------------------------------------
+    def keep_alive(self, now_ns: int) -> None:
+        """Refresh the NF's heartbeat without processing a packet.
+
+        Long-running handlers (a table rebuild, a slow storage callback)
+        call this so the Manager's watchdog does not mistake a busy NF for
+        a wedged one; :meth:`NFProcess.execute` stamps it automatically on
+        every scheduled run.
+        """
+        self.nf.heartbeat_ns = int(now_ns)
+
     # -- storage path (Figure 6 signatures, sans fd/buf plumbing) --------
     def read_data(self, size: int,
                   callback_fn: Callable[[object], None],

@@ -7,6 +7,14 @@ estimated per-packet service time (the 100 ms windowed median sampled by
 libnf).  Every 10 ms it converts per-core loads into cgroup cpu.shares via
 the rate-cost proportional formula and writes them through the cgroup
 filesystem (a 5 µs sysfs write, so it must stay off the data path).
+
+NF membership is dynamic: instances registered after construction (a
+restarted NF, a scaled-out replica) are picked up on the next tick, and
+per-NF bookkeeping is created lazily — arrival deltas are clamped at zero
+so a counter that restarts from scratch cannot produce a negative rate.
+The Monitor also hosts the fault watchdog when one is attached (it shares
+the 1 ms cadence and, like the cgroup writes, must stay off the data
+path).
 """
 
 from __future__ import annotations
@@ -46,6 +54,10 @@ class MonitorThread:
         self.record_series = record_series
         #: Optional :class:`repro.obs.bus.EventBus` (wired by the manager).
         self.bus = None
+        #: Optional :class:`repro.faults.watchdog.Watchdog`; ticked every
+        #: monitor period when attached (the paper's Monitor core has the
+        #: spare cycles; the data path must not pay for liveness checks).
+        self.watchdog = None
         #: Optional per-NF share history (Figure 15a plots this).
         self.share_series: Dict[str, TimeSeries] = {
             nf.name: TimeSeries(nf.name) for nf in self.nfs
@@ -61,32 +73,56 @@ class MonitorThread:
         self._proc.stop()
 
     # ------------------------------------------------------------------
+    # Dynamic membership
+    # ------------------------------------------------------------------
+    def add_nf(self, nf: NFProcess) -> None:
+        """Start estimating a late-registered NF on the next tick."""
+        if nf not in self.nfs:
+            self.nfs.append(nf)
+
+    def remove_nf(self, nf: NFProcess) -> None:
+        """Stop estimating ``nf`` (bookkeeping is kept for re-registration)."""
+        try:
+            self.nfs.remove(nf)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
     def tick(self) -> None:
         now = self.loop.now
         self._update_arrival_rates()
         if now - self._last_weight_update >= self.config.weight_update_ns:
             self._last_weight_update = now
             self._update_weights(now)
+        if self.watchdog is not None:
+            self.watchdog.tick(now)
 
     def _update_arrival_rates(self) -> None:
         alpha = self.config.arrival_ewma_alpha
         period_s = self.config.monitor_period_ns / SEC
         for nf in self.nfs:
             offered = nf.offered_arrivals
-            delta = offered - self._last_offered[nf.name]
+            last = self._last_offered.get(nf.name)
             self._last_offered[nf.name] = offered
+            if last is None:
+                # First sighting (registered after construction): no
+                # interval to difference yet.
+                continue
+            # A restarted NF may present a counter that went backwards;
+            # a negative delta is a reset, not a negative arrival rate.
+            delta = max(0, offered - last)
             instant_pps = delta / period_s
-            prev = self._arrival_ewma_pps[nf.name]
+            prev = self._arrival_ewma_pps.get(nf.name, 0.0)
             self._arrival_ewma_pps[nf.name] = (
                 (1.0 - alpha) * prev + alpha * instant_pps
             )
 
     def arrival_rate_pps(self, nf: NFProcess) -> float:
-        return self._arrival_ewma_pps[nf.name]
+        return self._arrival_ewma_pps.get(nf.name, 0.0)
 
     def load_of(self, nf: NFProcess, now_ns: int) -> float:
         """load(i) = lambda_i * s_i, a dimensionless CPU demand."""
-        lam = self._arrival_ewma_pps[nf.name]
+        lam = self._arrival_ewma_pps.get(nf.name, 0.0)
         service_s = nf.service_time_ns(now_ns) / SEC
         return lam * service_s
 
@@ -94,7 +130,9 @@ class MonitorThread:
         # Group NFs by the core they share; shares are computed per core m.
         by_core: Dict[int, List[NFProcess]] = {}
         for nf in self.nfs:
-            if nf.core is None:
+            if nf.core is None or nf.failed:
+                # A crashed NF has no process to weight; its share returns
+                # once a recovery policy restarts it.
                 continue
             by_core.setdefault(nf.core.core_id, []).append(nf)
         for _core_id, group in by_core.items():
@@ -105,7 +143,11 @@ class MonitorThread:
             for nf in group:
                 value = self.cgroups.set_shares(nf, shares[nf.name])
                 if self.record_series:
-                    self.share_series[nf.name].append(now_ns, value)
+                    series = self.share_series.get(nf.name)
+                    if series is None:
+                        series = self.share_series[nf.name] = \
+                            TimeSeries(nf.name)
+                    series.append(now_ns, value)
                 if self.bus is not None and self.bus.active:
                     self.bus.publish("monitor.weights", nf.name,
                                      core=_core_id, shares=value)

@@ -80,6 +80,18 @@ class NFProcess(CoreTask):
         self.relinquish = False
         #: A misbehaving NF that never yields (§2.1's malicious-NF scenario).
         self.busy_loop = busy_loop
+        #: Fault state (set by :mod:`repro.faults`): a *failed* NF crashed
+        #: (its process is gone until a recovery policy restarts it); a
+        #: *hung* NF still exists but stopped consuming — it holds its
+        #: rings yet never responds to semaphore posts.
+        self.failed = False
+        self.hung = False
+        #: libnf heartbeat: stamped every time the NF actually runs.  The
+        #: watchdog combines this with ring-drain progress to tell a dead
+        #: or wedged NF from one that is merely parked without work.
+        self.heartbeat_ns = 0
+        #: Crash/restart bookkeeping surfaced in experiment results.
+        self.restarts = 0
         #: Set by the manager when any upstream chain hop is on the other
         #: NUMA socket (the per-packet penalty is folded into cost_model).
         self.numa_remote_input = False
@@ -118,6 +130,8 @@ class NFProcess(CoreTask):
     # ------------------------------------------------------------------
     def estimate_run_ns(self, now_ns: int) -> float:
         """Time until this NF would voluntarily block (0 = nothing to do)."""
+        if self.failed or self.hung or self.rx_ring.sealed:
+            return 0.0
         if self.busy_loop:
             return math.inf
         if self.relinquish:
@@ -143,6 +157,11 @@ class NFProcess(CoreTask):
 
     def execute(self, now_ns: int, granted_ns: float) -> ExecResult:
         """libnf's batch loop for ``granted_ns`` of CPU time."""
+        self.heartbeat_ns = now_ns
+        if self.failed or self.hung or self.rx_ring.sealed:
+            # Killed/wedged mid-grant (or the ring went away): no work is
+            # performed; the task blocks immediately.
+            return ExecResult(0.0, ExecOutcome.RAN_OUT)
         if self.busy_loop:
             return ExecResult(granted_ns, ExecOutcome.USED_ALL)
 
@@ -238,6 +257,34 @@ class NFProcess(CoreTask):
         self._last_sample_ns = now_ns
         per_packet_ns = (cycles / packets) * self._ns_per_cycle
         self.service_estimator.add(now_ns, per_packet_ns)
+
+    # ------------------------------------------------------------------
+    # Fault recovery
+    # ------------------------------------------------------------------
+    def restart(self, now_ns: int, cold: bool = False) -> None:
+        """Bring a failed/hung NF back to a runnable state.
+
+        Called by a recovery policy once the replacement instance is up.
+        ``cold`` models a restart that lost all in-memory state: the
+        service-time estimator restarts from scratch (the Monitor falls
+        back to the cost model's long-run mean until it re-warms), and any
+        partially consumed cycle credit is forfeited.  A warm restart
+        (checkpointed state) keeps the estimator history.
+        """
+        self.failed = False
+        self.hung = False
+        self.rx_ring.sealed = False
+        self.rx_ring.dead = False
+        self.tx_ring.sealed = False
+        self.restarts += 1
+        self.heartbeat_ns = int(now_ns)
+        self._cycle_credit = 0.0
+        if cold:
+            self.service_estimator = SlidingWindowEstimator(
+                self.config.service_window_ns,
+                self.config.warmup_discard_samples,
+            )
+            self._last_sample_ns = -(10 ** 18)
 
     # ------------------------------------------------------------------
     # Introspection for the Monitor / experiments

@@ -95,6 +95,11 @@ class NFSummary:
     nvcswch_per_s: float
     avg_sched_delay_ms: float
     weight: int
+    #: Rx-ring drops keyed by reason (full / sealed / nf_dead / purged);
+    #: separates congestion loss from failure loss.
+    rx_drops_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: Times this NF was restarted by a recovery policy.
+    restarts: int = 0
 
 
 @dataclass
@@ -129,6 +134,10 @@ class ScenarioResult:
     #: Scheduler-trace events lost past any attached tracer's cap (0 when
     #: no tracer was attached; non-zero means timelines are incomplete).
     sched_trace_dropped: int = 0
+    #: Resilience summary from the fault injector (empty when the run had
+    #: no fault plan): incident log, availability, detection/recovery
+    #: latencies, packets lost vs requeued.  JSON-safe, digest-covered.
+    resilience: Dict[str, Any] = field(default_factory=dict)
 
     def nf(self, name: str) -> NFSummary:
         return self.nfs[name]
@@ -207,6 +216,12 @@ class Scenario:
         self.generator.add_flow(flow, rate_pps, **spec_kwargs)
         return flow
 
+    def attach_faults(self, plan, policy=None) -> None:
+        """Attach a fault plan, wiring stochastic onsets to this
+        scenario's seeded ``faults`` RNG stream."""
+        self.manager.attach_faults(
+            plan, policy=policy, rng=self.rng_factory.stream("faults"))
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -215,10 +230,15 @@ class Scenario:
         """Run for ``duration_s`` simulated seconds and summarise."""
         from repro.obs.session import current_session
 
+        from repro.faults.plan import current_plan
+
         mgr = self.manager
         session = current_session()
         if session is not None and not mgr._started:
             session.attach(self)
+        fault_plan = current_plan()
+        if fault_plan is not None and mgr.faults is None and not mgr._started:
+            self.attach_faults(fault_plan)
         sampler = IntervalSampler(self.loop, SEC)
         for chain in mgr.chains.values():
             sampler.add_probe(
@@ -273,6 +293,11 @@ class Scenario:
                 nvcswch_per_s=nf.stats.involuntary_switches / duration_s,
                 avg_sched_delay_ms=nf.stats.avg_sched_delay_ns / 1e6,
                 weight=nf.weight,
+                rx_drops_by_reason={
+                    k: nf.rx_ring.drops_by_reason[k]
+                    for k in sorted(nf.rx_ring.drops_by_reason)
+                },
+                restarts=nf.restarts,
             )
 
         utilization = {
@@ -295,6 +320,10 @@ class Scenario:
             core_utilization=utilization,
             series=dict(sampler.series),
             sched_trace_dropped=trace_dropped,
+            resilience=(
+                mgr.faults.summary(horizon_ns=int(duration_s * SEC))
+                if mgr.faults is not None else {}
+            ),
         )
 
 

@@ -1,0 +1,101 @@
+"""Resilience arithmetic over incident logs and throughput samples.
+
+Pure functions, deterministic and JSON-friendly, so their outputs can sit
+directly in digest-checked experiment results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import Incident
+
+
+def availability(
+    incidents: Iterable["Incident"],
+    horizon_ns: int,
+    n_targets: int,
+) -> float:
+    """Fraction of NF-uptime preserved over ``horizon_ns``.
+
+    Each incident contributes downtime from injection until recovery,
+    self-heal, or — for unresolved incidents — the horizon, weighted by
+    how many NFs it took out (``width``; a core failure counts every task
+    on the core).  Slowdowns do not count: a degraded NF is still up.
+    """
+    horizon = int(horizon_ns)
+    if horizon <= 0 or n_targets <= 0:
+        return 1.0
+    down = 0
+    for inc in incidents:
+        if inc.kind == "slowdown":
+            continue
+        end = inc.recovered_ns
+        if end is None:
+            end = inc.healed_ns
+        if end is None:
+            end = horizon
+        down += max(0, min(end, horizon) - inc.injected_ns) * inc.width
+    return max(0.0, 1.0 - down / (horizon * n_targets))
+
+
+def throughput_dip(
+    samples: Sequence[Tuple[int, float]],
+    fault_ns: int,
+    recover_frac: float = 0.9,
+) -> Dict[str, Any]:
+    """Depth and width of the throughput dip around a fault.
+
+    ``samples`` is a time-ordered sequence of ``(t_ns, value)`` probe
+    readings (e.g. packets delivered per probe interval).  The baseline is
+    the mean of pre-fault samples; *depth* is the fractional drop of the
+    post-fault floor below that baseline; *width* is the time from onset
+    until throughput first climbs back to ``recover_frac`` of baseline
+    after having dipped below it (the full horizon when it never does).
+    """
+    pre = [v for t, v in samples if t <= fault_ns]
+    post = [(t, v) for t, v in samples if t > fault_ns]
+    if not pre or not post:
+        return {
+            "baseline": 0.0, "floor": 0.0, "depth_frac": 0.0,
+            "width_ns": 0, "recovered": True,
+        }
+    baseline = sum(pre) / len(pre)
+    floor = min(v for _t, v in post)
+    depth = 0.0 if baseline <= 0 else max(0.0, 1.0 - floor / baseline)
+    threshold = recover_frac * baseline
+    dipped = False
+    width = None
+    for t, v in post:
+        if not dipped:
+            dipped = v < threshold
+        elif v >= threshold:
+            width = t - fault_ns
+            break
+    if not dipped:
+        width, recovered = 0, True
+    elif width is None:
+        width, recovered = post[-1][0] - fault_ns, False
+    else:
+        recovered = True
+    return {
+        "baseline": float(baseline),
+        "floor": float(floor),
+        "depth_frac": float(depth),
+        "width_ns": int(width),
+        "recovered": recovered,
+    }
+
+
+def latency_stats(values_ns: Sequence[int]) -> Dict[str, float]:
+    """Mean/min/max summary of a latency list (empty -> all zero)."""
+    vals: List[int] = [int(v) for v in values_ns]
+    if not vals:
+        return {"count": 0, "mean_ns": 0.0, "min_ns": 0.0, "max_ns": 0.0}
+    return {
+        "count": len(vals),
+        "mean_ns": float(sum(vals) / len(vals)),
+        "min_ns": float(min(vals)),
+        "max_ns": float(max(vals)),
+    }

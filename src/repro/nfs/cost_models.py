@@ -200,6 +200,43 @@ class ExponentialCost(BufferedCost):
         return self._rng.exponential(self.mean, size=n)
 
 
+class ScaledCost(CostModel):
+    """Multiplies an inner model's per-packet cost by a constant factor.
+
+    The fault injector wraps an NF's cost model with this to impose a
+    *slowdown* (a leaking NF, a cache-thrashing co-tenant, a thermally
+    throttled core); unwrapping restores the original behaviour exactly
+    because the inner model's buffered draws are untouched.
+    """
+
+    def __init__(self, inner: CostModel, factor: float):
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor!r}")
+        self.inner = inner
+        self.factor = float(factor)
+        self.mean_cycles = inner.mean_cycles * self.factor
+
+    def peek_sum(self, n: int) -> float:
+        if n <= 0:
+            return 0.0
+        return self.inner.peek_sum(n) * self.factor
+
+    def consume_upto(self, budget_cycles: float, max_packets: int) -> Tuple[int, float]:
+        if max_packets <= 0 or budget_cycles <= 0:
+            return 0, 0.0
+        k, used = self.inner.consume_upto(budget_cycles / self.factor,
+                                          max_packets)
+        return k, used * self.factor
+
+    def consume(self, n: int) -> float:
+        if n <= 0:
+            return 0.0
+        return self.inner.consume(n) * self.factor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScaledCost({self.inner!r}, x{self.factor:g})"
+
+
 class WithOverhead(CostModel):
     """Adds a fixed per-packet framework overhead to an inner model.
 

@@ -49,6 +49,12 @@ WAKEUP_POST = "wakeup.post"          # Wakeup subsystem posted a semaphore
 RX_DISCARD = "rx.discard"            # arrivals shed at entry (Figure 5)
 MONITOR_WEIGHTS = "monitor.weights"  # cgroup cpu.shares written
 
+FAULT_INJECT = "fault.inject"        # a planned fault fired (kind, target)
+FAULT_HEAL = "fault.heal"            # a transient fault's duration elapsed
+FAULT_DETECT = "fault.detect"        # the watchdog flagged a stuck NF
+FAULT_RECOVER = "fault.recover"      # a recovery policy restored service
+FAULT_GIVEUP = "fault.giveup"        # fail-the-chain: no recovery attempted
+
 
 class BusEvent:
     """One published event: when, what, who, and free-form fields."""

@@ -120,6 +120,18 @@ class ObsSession:
                       "arrivals dropped at the NF Rx ring",
                       fn=(lambda nf=nf: nf.rx_ring.dropped_total),
                       nf=nf.name, scenario=scenario)
+            from repro.platform.ring import DROP_REASONS
+            for reason in DROP_REASONS:
+                reg.gauge("repro_nf_rx_ring_drops_by_reason",
+                          "Rx-ring drops split by cause (congestion vs "
+                          "failure shedding)",
+                          fn=(lambda nf=nf, r=reason:
+                              nf.rx_ring.drops_by_reason.get(r, 0)),
+                          nf=nf.name, reason=reason, scenario=scenario)
+            reg.gauge("repro_nf_restarts",
+                      "recovery-policy restarts of this NF",
+                      fn=(lambda nf=nf: nf.restarts),
+                      nf=nf.name, scenario=scenario)
         for chain in mgr.chains.values():
             reg.gauge("repro_chain_completed_packets",
                       "packets that traversed the full chain",

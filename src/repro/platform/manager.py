@@ -79,6 +79,9 @@ class NFManager:
         self.rx_thread: Optional[RxThread] = None
         self.tx_threads: List[TxThread] = []
 
+        # Fault injection (attach_faults() before start()).
+        self.faults = None
+
     # ------------------------------------------------------------------
     # Topology construction
     # ------------------------------------------------------------------
@@ -104,15 +107,36 @@ class NFManager:
         return self.cores[core_id]
 
     def add_nf(self, nf: "NFProcess", core_id: int = 0) -> "NFProcess":
-        """Place an NF on a worker core."""
-        if self._started:
-            raise RuntimeError("cannot add NFs after start()")
+        """Place an NF on a worker core.
+
+        Works both before and after :meth:`start`: a late-registered NF (a
+        scaled-out replica, a replacement instance) is announced to the
+        wakeup scan, the monitor and the least-loaded Tx thread so it
+        becomes a first-class platform citizen on the next tick.
+        """
         self.core(core_id).add_task(nf)
         self.nfs.append(nf)
         if self.bus is not None:
             nf.rx_ring.bus = self.bus
             nf.tx_ring.bus = self.bus
+        if self._started:
+            self._register_live_nf(nf)
         return nf
+
+    def _register_live_nf(self, nf: "NFProcess") -> None:
+        """Announce a post-start NF to every subsystem that scans a roster."""
+        assert self.wakeup is not None
+        self.wakeup.add_nf(nf)
+        if self.monitor is not None:
+            self.monitor.add_nf(nf)
+        # Deterministic least-loaded Tx assignment: min roster size, ties
+        # broken by thread order.
+        tx = min(self.tx_threads, key=lambda t: len(t.nfs))
+        tx.nfs.append(nf)
+        if nf.io is not None and getattr(nf.io, "on_unblock", None) is None:
+            nf.io.on_unblock = self._io_unblock_callback(nf)
+        if self.faults is not None:
+            self.faults.watch_nf(nf)
 
     # ------------------------------------------------------------------
     # Observability
@@ -131,6 +155,8 @@ class NFManager:
             raise RuntimeError("attach observability before start()")
         self.bus = bus
         self.spans = spans
+        if self.faults is not None:
+            self.faults.bus = bus
         if bus is None:
             return
         for core in self.cores.values():
@@ -154,6 +180,27 @@ class NFManager:
     def install_flow(self, flow, chain: ServiceChain) -> None:
         """Steer ``flow`` into ``chain`` via the Flow Table."""
         self.flow_table.install(flow, chain)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def attach_faults(self, plan, policy=None, rng=None) -> None:
+        """Attach a :class:`repro.faults.plan.FaultPlan` to this platform.
+
+        Call before :meth:`start`.  Builds a
+        :class:`repro.faults.injector.FaultInjector` whose onsets, watchdog
+        and recovery policy are wired when the platform starts; ``policy``
+        (a :class:`repro.faults.recovery.RecoveryPolicy` or registry name)
+        and ``rng`` (a stochastic-onset stream) default to what the plan
+        itself specifies.
+        """
+        if self._started:
+            raise RuntimeError("attach faults before start()")
+        from repro.faults.injector import FaultInjector
+
+        self.faults = FaultInjector(self, plan, policy=policy, rng=rng)
+        if self.bus is not None:
+            self.faults.bus = self.bus
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -216,6 +263,8 @@ class NFManager:
         stagger = cfg.tx_poll_ns // max(1, len(self.tx_threads))
         for i, tx in enumerate(self.tx_threads):
             tx.start(phase_ns=i * stagger)
+        if self.faults is not None:
+            self.faults.wire()
 
     def _apply_numa_penalties(self) -> None:
         """Charge cross-socket chain hops (paper §1's NUMA concern).

@@ -181,6 +181,16 @@ def build_topology(
         )
         topology.flows[flow_id] = flow
 
+    faults_spec = spec.get("faults")
+    if faults_spec is not None:
+        from repro.faults.plan import FaultPlan
+
+        try:
+            plan = FaultPlan.from_dict(faults_spec)
+        except (TypeError, ValueError) as exc:
+            raise TopologyError(f"bad faults section: {exc}") from exc
+        manager.attach_faults(plan, rng=rng_factory.stream("faults"))
+
     return topology
 
 

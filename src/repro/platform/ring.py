@@ -11,6 +11,13 @@ The ring also maintains per-chain occupancy counts so the backpressure
 subsystem can classify a congested queue by service chain in O(1) instead
 of walking the queue (§3.3 "examines all packets in the NF's queue to
 determine what service chain they are a part of").
+
+Drops are accounted *per reason* so experiments can tell congestion from
+failure: ``full`` (ring at capacity — the ordinary overload drop),
+``sealed`` (a fault stalled the ring; nothing goes in or out), ``nf_dead``
+(the manager declared the owning NF dead and sheds its arrivals while
+recovery runs), and ``purged`` (a selective early-discard purge removed a
+throttled chain's packets).  ``dropped_total`` stays the sum of all four.
 """
 
 from __future__ import annotations
@@ -19,6 +26,9 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.platform.packet import Flow, PacketSegment
+
+#: The drop-reason taxonomy every ring accounts under.
+DROP_REASONS = ("full", "sealed", "nf_dead", "purged")
 
 
 class PacketRing:
@@ -45,10 +55,20 @@ class PacketRing:
         self._segments: Deque[PacketSegment] = deque()
         self._count = 0
         self._chain_counts: Dict[str, int] = {}
+        #: Fault states (set by the fault injector / recovery machinery).
+        #: A *sealed* ring is stalled: enqueues drop and dequeues return
+        #: nothing, as if the shared-memory segment went away.  A *dead*
+        #: ring sheds arrivals (the manager knows the owner NF is gone)
+        #: but still lets a restarted instance drain what is queued.
+        self.sealed = False
+        self.dead = False
         # Counters
         self.enqueued_total = 0
         self.dropped_total = 0
         self.dequeued_total = 0
+        #: Drops keyed by reason (see :data:`DROP_REASONS`); values sum to
+        #: ``dropped_total``.
+        self.drops_by_reason: Dict[str, int] = {}
         #: Optional :class:`repro.obs.bus.EventBus`; when attached the ring
         #: publishes enqueue/dequeue/drop events with its current depth.
         self.bus = None
@@ -106,6 +126,17 @@ class PacketRing:
         """
         if count <= 0:
             return 0, 0, self.above_high
+        if self.sealed or self.dead:
+            reason = "sealed" if self.sealed else "nf_dead"
+            self.dropped_total += count
+            self.drops_by_reason[reason] = (
+                self.drops_by_reason.get(reason, 0) + count
+            )
+            flow.stats.queue_drops += count
+            if self.bus is not None and self.bus.active:
+                self.bus.publish("ring.drop", self.name, count=count,
+                                 depth=self._count, reason=reason)
+            return 0, count, self.above_high
         origin = int(now_ns) if origin_ns is None else int(origin_ns)
         accepted = min(count, self.free)
         dropped = count - accepted
@@ -132,6 +163,9 @@ class PacketRing:
                 self._chain_counts[key] = self._chain_counts.get(key, 0) + accepted
         if dropped > 0:
             self.dropped_total += dropped
+            self.drops_by_reason["full"] = (
+                self.drops_by_reason.get("full", 0) + dropped
+            )
             flow.stats.queue_drops += dropped
         if self.bus is not None and self.bus.active:
             if accepted > 0:
@@ -139,7 +173,8 @@ class PacketRing:
                                  count=accepted, depth=self._count)
             if dropped > 0:
                 self.bus.publish("ring.drop", self.name,
-                                 count=dropped, depth=self._count)
+                                 count=dropped, depth=self._count,
+                                 reason="full")
         return accepted, dropped, self.above_high
 
     def enqueue_segment(self, segment: PacketSegment, now_ns: int) -> Tuple[int, int, bool]:
@@ -153,7 +188,7 @@ class PacketRing:
         The returned segments keep their original ``enqueue_ns`` so the
         caller can account queuing latency.
         """
-        if max_packets <= 0:
+        if max_packets <= 0 or self.sealed:
             return []
         out: List[PacketSegment] = []
         remaining = max_packets
@@ -201,11 +236,14 @@ class PacketRing:
             self._segments = kept
             self._count -= dropped
             self.dropped_total += dropped
+            self.drops_by_reason["purged"] = (
+                self.drops_by_reason.get("purged", 0) + dropped
+            )
             self._chain_counts[chain_name] = 0
             if self.bus is not None and self.bus.active:
                 self.bus.publish("ring.drop", self.name,
                                  count=dropped, depth=self._count,
-                                 chain=chain_name)
+                                 chain=chain_name, reason="purged")
         return dropped
 
     def clear(self) -> int:

@@ -57,9 +57,31 @@ class WakeupSubsystem:
         self._proc.stop()
 
     # ------------------------------------------------------------------
+    # Dynamic membership (NFs may register/retire after construction:
+    # a restarted instance, a scaled-out replica).
+    # ------------------------------------------------------------------
+    def add_nf(self, nf: "NFProcess") -> None:
+        """Include a late-registered NF in the periodic scan."""
+        if nf not in self.nfs:
+            self.nfs.append(nf)
+
+    def remove_nf(self, nf: "NFProcess") -> None:
+        """Retire an NF from the scan (no-op if absent)."""
+        try:
+            self.nfs.remove(nf)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
     def eligible(self, nf: "NFProcess") -> bool:
         """May this blocked NF usefully run right now?"""
         if nf.state is not TaskState.BLOCKED:
+            return False
+        if nf.failed or nf.hung or nf.rx_ring.sealed:
+            # Crashed / wedged / ring gone: posting the semaphore cannot
+            # help; the watchdog-and-recovery path owns this NF now.
+            return False
+        if nf.core is not None and nf.core.failed:
             return False
         if nf.relinquish:
             return False

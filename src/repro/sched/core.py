@@ -88,6 +88,11 @@ class Core:
         self.bus = None
         self._tracer = None
 
+        #: A failed core dispatches nothing and refuses wakeups until
+        #: :meth:`repair` (fault injection: the paper's schedulers assume
+        #: cores never vanish; the chaos layer makes them vanish).
+        self.failed = False
+
         self.current: Optional[CoreTask] = None
         self._last_task: Optional[CoreTask] = None
         self._segment_start: float = 0.0
@@ -157,7 +162,7 @@ class Core:
 
     def wake(self, task: CoreTask) -> bool:
         """Make a BLOCKED task runnable (semaphore post).  No-op otherwise."""
-        if task.state is not TaskState.BLOCKED:
+        if self.failed or task.state is not TaskState.BLOCKED:
             return False
         now = self.loop.now
         task.state = TaskState.READY
@@ -185,6 +190,51 @@ class Core:
         self.scheduler.dequeue(task, self.loop.now)
         task.state = TaskState.BLOCKED
         return True
+
+    # ------------------------------------------------------------------
+    # Fault teardown (crash / core failure)
+    # ------------------------------------------------------------------
+    def deschedule(self, task: CoreTask) -> bool:
+        """Forcibly pull ``task`` off the CPU / out of the runqueue.
+
+        Unlike :meth:`interrupt_current`, no partial work is executed:
+        this models a SIGKILL mid-quantum — cycles already burned stay
+        charged (they were consumed at segment granularity), but the
+        in-flight batch never completes.  The task remains a member of
+        the core so a recovery policy can revive it with :meth:`wake`.
+        Returns True if the task was RUNNING or READY.
+        """
+        if self.current is task:
+            if self._run_end is not None:
+                self._run_end.cancel()
+                self._run_end = None
+            self.current = None
+            task.state = TaskState.BLOCKED
+            task.stats.involuntary_switches += 1
+            if self.bus is not None and self.bus.active:
+                self.bus.publish("sched.switch_out", task.name,
+                                 core=self.core_id, detail="killed")
+            self._dispatch()
+            return True
+        if task.state is TaskState.READY:
+            self.scheduler.dequeue(task, self.loop.now)
+            task.state = TaskState.BLOCKED
+            return True
+        return False
+
+    def fail(self) -> None:
+        """Take the whole core offline: every task is descheduled mid-
+        quantum and no dispatch or wakeup succeeds until :meth:`repair`."""
+        if self.failed:
+            return
+        self.failed = True           # blocks re-dispatch during teardown
+        for task in self.tasks:
+            self.deschedule(task)
+
+    def repair(self) -> None:
+        """Bring a failed core back; blocked tasks are picked up by the
+        Wakeup subsystem's next scan (or an explicit notify)."""
+        self.failed = False
 
     # ------------------------------------------------------------------
     # Interrupting the running task
@@ -218,6 +268,10 @@ class Core:
     # Dispatch machinery
     # ------------------------------------------------------------------
     def _dispatch(self) -> None:
+        if self.failed:
+            if self._idle_since is None:
+                self._idle_since = self.loop.now
+            return
         now = self.loop.now
         task = self.scheduler.pick_next(now)
         if task is None:

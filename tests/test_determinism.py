@@ -40,6 +40,17 @@ _SNIPPETS = {
         f"res = run_case('NFVnice', duration_s={DURATION_S})\n"
         "print(digest_of(result_to_dict(res)))\n"
     ),
+    # Fault injection is part of the same contract: a chaos case's
+    # incident log (onset, detection, recovery timestamps, loss counts)
+    # must not depend on the interpreter's hash seed.
+    "chaos": (
+        "from repro.experiments.chaos_recovery import run_case\n"
+        "from repro.analysis.export import result_to_dict\n"
+        "from repro.runner.digest import digest_of\n"
+        f"res = run_case('crash', 'restart-warm', 2.0, "
+        f"duration_s={DURATION_S})\n"
+        "print(digest_of(result_to_dict(res)))\n"
+    ),
 }
 
 

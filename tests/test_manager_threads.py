@@ -34,11 +34,25 @@ class TestManagerConstruction:
         with pytest.raises(ValueError):
             mgr.add_chain("other", [stranger])
 
-    def test_add_nf_after_start_rejected(self, loop, config):
+    def test_add_nf_after_start_registers_live(self, loop, config):
+        # Post-start registration (a restarted instance, a scaled-out
+        # replica) announces the NF to the wakeup scan, the monitor, and
+        # the least-loaded Tx thread.
         mgr, nfs, chain, flow = build(loop, config)
         mgr.start()
-        with pytest.raises(RuntimeError):
-            mgr.add_nf(NFProcess("late", FixedCost(100), config=config))
+        late = mgr.add_nf(NFProcess("late", FixedCost(100), config=config))
+        assert late in mgr.wakeup.nfs
+        assert any(late in tx.nfs for tx in mgr.tx_threads)
+        if mgr.monitor is not None:
+            assert late in mgr.monitor.nfs
+        # The late NF serves traffic end to end.
+        solo = mgr.add_chain("late-chain", [late])
+        f2 = Flow("f-late")
+        mgr.install_flow(f2, solo)
+        mgr.nic.rx_ring.enqueue(f2, 64, loop.now)
+        loop.run_until(loop.now + 20 * MSEC)
+        assert late.processed_packets == 64
+        assert solo.completed == 64
 
     def test_nf_by_name(self, loop, config):
         mgr, nfs, chain, flow = build(loop, config)

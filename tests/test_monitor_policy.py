@@ -112,3 +112,52 @@ class TestMonitorThread:
         monitor.start()
         loop.run_until(25 * MSEC)
         assert len(monitor.share_series["nf1"]) >= 1
+
+
+class TestDynamicMembership:
+    """NFs may register/retire after the Monitor is constructed (restart
+    replicas, scale-out instances) without disturbing the estimators."""
+
+    def _setup(self, loop, config):
+        return TestMonitorThread._setup(TestMonitorThread(), loop, config)
+
+    def test_late_nf_gets_estimated(self, loop, config):
+        core, nfs, cgroups, monitor = self._setup(loop, config)
+        monitor.start()
+        late = NFProcess("late", FixedCost(500), config=config)
+        core.add_task(late)
+        monitor.add_nf(late)
+        monitor.add_nf(late)                     # idempotent
+        assert monitor.nfs.count(late) == 1
+
+        def feed():
+            late.rx_ring.enqueue(Flow("f"), 1000, loop.now)
+            late.rx_ring.dequeue(1000)
+
+        from repro.sim.process import PeriodicProcess
+
+        feeder = PeriodicProcess(loop, MSEC, feed)
+        feeder.start()
+        loop.run_until(200 * MSEC)
+        assert monitor.arrival_rate_pps(late) == pytest.approx(
+            1.0e6, rel=0.05)
+
+    def test_removed_nf_stops_counting(self, loop, config):
+        core, nfs, cgroups, monitor = self._setup(loop, config)
+        monitor.start()
+        monitor.remove_nf(nfs[1])
+        monitor.remove_nf(nfs[1])                # absent: no-op
+        loop.run_until(25 * MSEC)
+        assert nfs[1] not in monitor.nfs
+
+    def test_watchdog_rides_monitor_tick(self, loop, config):
+        core, nfs, cgroups, monitor = self._setup(loop, config)
+        from repro.faults.watchdog import Watchdog
+
+        wd = Watchdog(loop, 2 * MSEC)
+        for nf in nfs:
+            wd.register(nf)
+        monitor.watchdog = wd
+        monitor.start()
+        loop.run_until(10 * MSEC)
+        assert wd.checks >= 9

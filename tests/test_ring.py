@@ -150,6 +150,62 @@ class TestChainAccounting:
         assert len(ring) == 0
 
 
+class TestDropReasons:
+    def test_overflow_counted_as_full(self):
+        ring = PacketRing(capacity=10)
+        ring.enqueue(flow(), 25, 0)
+        assert ring.drops_by_reason == {"full": 15}
+
+    def test_sealed_ring_rejects_enqueue_and_dequeue(self):
+        ring = PacketRing(capacity=100)
+        ring.enqueue(flow(), 10, 0)
+        ring.sealed = True
+        accepted, dropped, _ = ring.enqueue(flow(), 5, 1)
+        assert (accepted, dropped) == (0, 5)
+        assert ring.drops_by_reason == {"sealed": 5}
+        # Stalled in both directions: the queued packets are stuck too.
+        assert ring.dequeue(100) == []
+        assert len(ring) == 10
+        ring.sealed = False
+        assert sum(s.count for s in ring.dequeue(100)) == 10
+
+    def test_dead_ring_sheds_as_nf_dead(self):
+        ring = PacketRing(capacity=100)
+        f = flow()
+        ring.dead = True
+        accepted, dropped, _ = ring.enqueue(f, 7, 0)
+        assert (accepted, dropped) == (0, 7)
+        assert ring.drops_by_reason == {"nf_dead": 7}
+        assert f.stats.queue_drops == 7
+        # Unlike sealed, a dead ring still drains: recovery policies read
+        # (warm) or clear (cold) what the old instance left behind.
+        ring.dead = False
+        ring.enqueue(f, 3, 1)
+        assert sum(s.count for s in ring.dequeue(100)) == 3
+
+    def test_purge_counted_as_purged(self):
+        ring = PacketRing(capacity=100)
+        ring.enqueue(flow("f1", FakeChain("A")), 10, 0)
+        ring.enqueue(flow("f2", FakeChain("B")), 20, 1)
+        assert ring.drop_chain("A") == 10
+        assert ring.drops_by_reason == {"purged": 10}
+
+    def test_reasons_sum_to_dropped_total(self):
+        ring = PacketRing(capacity=10)
+        f = flow("f", FakeChain("A"))
+        ring.enqueue(f, 15, 0)            # 5 full drops
+        ring.sealed = True
+        ring.enqueue(f, 4, 1)             # 4 sealed drops
+        ring.sealed = False
+        ring.dead = True
+        ring.enqueue(f, 3, 2)             # 3 nf_dead drops
+        ring.dead = False
+        ring.drop_chain("A")              # 10 purged
+        assert ring.drops_by_reason == {
+            "full": 5, "sealed": 4, "nf_dead": 3, "purged": 10}
+        assert sum(ring.drops_by_reason.values()) == ring.dropped_total
+
+
 @given(st.lists(st.tuples(st.sampled_from(["enq", "deq"]),
                           st.integers(1, 40)), max_size=80))
 @settings(max_examples=120, deadline=None)

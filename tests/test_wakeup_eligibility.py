@@ -84,6 +84,115 @@ class TestEligibility:
         assert wakeup.wakeups_posted == 1
 
 
+class TestFaultGates:
+    """Broken NFs must never be woken: recovery owns them."""
+
+    def test_failed_nf_not_eligible(self, rig):
+        core, nf, wakeup = rig
+        nf.rx_ring.enqueue(Flow("f"), 5, 0)
+        nf.failed = True
+        assert not wakeup.eligible(nf)
+        assert not wakeup.notify(nf)
+
+    def test_hung_nf_not_eligible(self, rig):
+        core, nf, wakeup = rig
+        nf.rx_ring.enqueue(Flow("f"), 5, 0)
+        nf.hung = True
+        assert not wakeup.eligible(nf)
+
+    def test_sealed_ring_not_eligible(self, rig):
+        core, nf, wakeup = rig
+        nf.rx_ring.enqueue(Flow("f"), 5, 0)
+        nf.rx_ring.sealed = True
+        assert not wakeup.eligible(nf)
+
+    def test_failed_core_not_eligible(self, rig):
+        core, nf, wakeup = rig
+        nf.rx_ring.enqueue(Flow("f"), 5, 0)
+        core.fail()
+        assert not wakeup.eligible(nf)
+        core.repair()
+        assert wakeup.eligible(nf)
+
+    def test_restart_restores_eligibility(self, rig):
+        core, nf, wakeup = rig
+        nf.rx_ring.enqueue(Flow("f"), 5, 0)
+        nf.failed = True
+        nf.rx_ring.dead = True
+        assert not wakeup.eligible(nf)
+        nf.restart(now_ns=0)
+        assert wakeup.eligible(nf)
+        assert wakeup.notify(nf)
+
+
+class TestDynamicMembership:
+    def test_add_nf_joins_scan(self, loop, config):
+        core = Core(loop, make_scheduler("BATCH"))
+        wakeup = WakeupSubsystem(loop, [], None, config)
+        nf = NFProcess("late", FixedCost(260), config=config)
+        core.add_task(nf)
+        nf.rx_ring.enqueue(Flow("f"), 5, 0)
+        wakeup.scan()
+        assert nf.state is TaskState.BLOCKED   # not registered yet
+        wakeup.add_nf(nf)
+        wakeup.add_nf(nf)                      # idempotent
+        assert wakeup.nfs.count(nf) == 1
+        wakeup.scan()
+        assert nf.state is not TaskState.BLOCKED
+
+    def test_remove_nf_leaves_scan(self, rig):
+        core, nf, wakeup = rig
+        wakeup.remove_nf(nf)
+        wakeup.remove_nf(nf)                   # absent: no-op
+        nf.rx_ring.enqueue(Flow("f"), 5, 0)
+        wakeup.scan()
+        assert nf.state is TaskState.BLOCKED
+
+
+class _TogglingBackpressure:
+    """Stands in for BackpressureController: each evaluate() call applies
+    the next scripted relinquish value to the NF, the way a real scan's
+    leading evaluate() can throttle or clear an NF just before the wake
+    pass looks at it."""
+
+    def __init__(self, nf, script):
+        self.nf = nf
+        self.script = list(script)
+
+    def evaluate(self, now_ns):
+        if self.script:
+            self.nf.relinquish = self.script.pop(0)
+
+
+class TestBackpressureMidScan:
+    def test_throttle_raised_mid_scan_blocks_wake(self, loop, config):
+        core = Core(loop, make_scheduler("BATCH"))
+        nf = NFProcess("nf", FixedCost(260), config=config)
+        core.add_task(nf)
+        bp = _TogglingBackpressure(nf, [True, False])
+        wakeup = WakeupSubsystem(loop, [nf], bp, config)
+        nf.rx_ring.enqueue(Flow("f"), 5, 0)
+        wakeup.scan()     # evaluate() throttles first: no wake this pass
+        assert nf.state is TaskState.BLOCKED
+        assert wakeup.wakeups_posted == 0
+        wakeup.scan()     # evaluate() clears the flag: wake goes through
+        assert nf.state is not TaskState.BLOCKED
+        assert wakeup.wakeups_posted == 1
+
+    def test_notify_fast_path_respects_fresh_throttle(self, loop, config):
+        core = Core(loop, make_scheduler("BATCH"))
+        nf = NFProcess("nf", FixedCost(260), config=config)
+        core.add_task(nf)
+        wakeup = WakeupSubsystem(loop, [nf], None, config)
+        nf.rx_ring.enqueue(Flow("f"), 5, 0)
+        # A data-path notify between scans sees the flag the moment the
+        # controller sets it — no stale-eligibility window.
+        nf.relinquish = True
+        assert not wakeup.notify(nf)
+        nf.relinquish = False
+        assert wakeup.notify(nf)
+
+
 class TestScan:
     def test_scan_wakes_all_eligible(self, loop, config):
         core = Core(loop, make_scheduler("BATCH"))
