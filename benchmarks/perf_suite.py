@@ -1,0 +1,246 @@
+"""CI-gated performance benchmark suite.
+
+Runs a pinned set of experiments (the fig07, fig09 and fig16 short
+grids) serially and records, per experiment:
+
+* wall-clock seconds for the whole case grid,
+* simulation events processed and events/second (from the event loop's
+  hygiene counters),
+* peak event-heap size across the grid,
+* the combined result digest over every case (bit-stability check: a
+  faster simulator must compute the *same* results).
+
+Results are written to ``benchmarks/BENCH_perf.json``.  With ``--check``
+the run is compared against the committed baseline instead: digests must
+match exactly, and wall-clock may not regress more than ``--tolerance``
+(default 25%) after scaling by the calibration score — a fixed pure-\
+Python microbenchmark that normalises for machine speed, so a slow CI
+runner does not read as a regression and a fast one does not mask it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_suite.py            # write baseline
+    PYTHONPATH=src python benchmarks/perf_suite.py --check    # CI gate
+    PYTHONPATH=src python benchmarks/perf_suite.py --ref OLD.json
+                                                   # record speedup vs OLD
+
+Environment: ``REPRO_PERF_DURATION`` overrides the simulated seconds per
+case (default 0.1); ``REPRO_PERF_PASSES`` the timing passes per grid
+(default 2 — the best pass is recorded, since the runs are
+deterministic and min is the least-noise estimator).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import importlib
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis.export import result_to_dict   # noqa: E402
+from repro.runner.digest import digest_of          # noqa: E402
+
+#: The pinned grids: experiment id -> module path.  Short durations keep
+#: the whole suite under a minute while still exercising every scheduler
+#: and feature combination the canonical figures sweep.
+GRIDS = {
+    "fig07": "repro.experiments.fig07_single_core_chain",
+    "fig09": "repro.experiments.fig09_shared_chains",
+    "fig16": "repro.experiments.fig16_chain_length",
+}
+
+DEFAULT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_perf.json")
+
+
+def calibrate(n: int = 200_000) -> float:
+    """Machine-speed score: events/second through a bare EventLoop.
+
+    A fixed-size periodic-tick workload through the real event loop —
+    the same interpreter-bound work the simulator spends its time on, so
+    the score moves with the machine the way the experiments do.
+    """
+    from repro.sim.engine import EventLoop
+
+    loop = EventLoop()
+    if hasattr(loop, "call_every"):
+        loop.call_every(10, lambda: None)
+    else:  # pre-fast-path engine (reference measurements)
+        def tick():
+            loop.call_at(loop.now + 10, tick)
+        loop.call_at(10, tick)
+    t0 = time.perf_counter()
+    loop.run_until(n * 10)
+    elapsed = time.perf_counter() - t0
+    return getattr(loop, "pops", n) / elapsed
+
+
+def run_experiment(exp_id: str, duration_s: float, passes: int) -> dict:
+    """Run one experiment's campaign grid serially; return its record.
+
+    The grid is executed ``passes`` times and the *minimum* wall-clock is
+    recorded — the runs are deterministic, so min is the least-noise
+    estimate of the machine's true speed.  Timing covers only the case
+    executions; digesting the results happens outside the clock.
+    """
+    mod = importlib.import_module(GRIDS[exp_id])
+    cases = mod.campaign_cases(duration_s=duration_s)
+    fns = [(case, getattr(mod, case.fn)) for case in cases]
+    walls = []
+    results = None
+    for _ in range(passes):
+        gc.collect()
+        t0 = time.perf_counter()
+        batch = [fn(**case.kwargs) for case, fn in fns]
+        walls.append(time.perf_counter() - t0)
+        results = batch
+    digests = {case.label: digest_of(result_to_dict(res))
+               for (case, _), res in zip(fns, results)}
+    events = 0
+    peak_heap = 0
+    for res in results:
+        stats = getattr(res, "loop_stats", None) or {}
+        events += stats.get("pops", 0)
+        peak_heap = max(peak_heap, stats.get("peak_heap", 0))
+    wall = min(walls)
+    return {
+        "duration_s": duration_s,
+        "cases": len(cases),
+        "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall) if wall > 0 else 0,
+        "peak_heap": peak_heap,
+        "digest": digest_of(digests),
+    }
+
+
+def run_suite(duration_s: float, passes: int) -> dict:
+    cal = calibrate()
+    print(f"[perf] calibration: {cal:,.0f} loop events/s")
+    experiments = {}
+    for exp_id in GRIDS:
+        rec = run_experiment(exp_id, duration_s, passes)
+        experiments[exp_id] = rec
+        print(f"[perf] {exp_id}: {rec['cases']} cases in "
+              f"{rec['wall_s']:.2f}s — {rec['events_per_sec']:,} events/s, "
+              f"peak heap {rec['peak_heap']}, digest "
+              f"{rec['digest'][:12]}…")
+    return {
+        "version": 1,
+        "calibration_events_per_sec": round(cal),
+        "experiments": experiments,
+    }
+
+
+def check(current: dict, baseline: dict, tolerance: float) -> list:
+    """Compare a fresh run against the committed baseline.
+
+    Returns a list of human-readable problems (empty = pass).  Digest
+    mismatches always fail; wall-clock is compared after scaling the
+    baseline by the two runs' calibration scores.
+    """
+    problems = []
+    cal_now = current["calibration_events_per_sec"]
+    cal_base = baseline.get("calibration_events_per_sec") or cal_now
+    scale = cal_base / cal_now if cal_now else 1.0
+    for exp_id, base in baseline.get("experiments", {}).items():
+        cur = current["experiments"].get(exp_id)
+        if cur is None:
+            problems.append(f"{exp_id}: missing from current run")
+            continue
+        if cur["digest"] != base["digest"]:
+            problems.append(
+                f"{exp_id}: result digest drifted "
+                f"({cur['digest'][:12]}… != {base['digest'][:12]}…) — "
+                f"speed must not buy behaviour change")
+        allowed = base["wall_s"] * scale * (1.0 + tolerance)
+        if cur["wall_s"] > allowed:
+            problems.append(
+                f"{exp_id}: wall-clock {cur['wall_s']:.2f}s exceeds "
+                f"{allowed:.2f}s (baseline {base['wall_s']:.2f}s × "
+                f"calibration {scale:.2f} × {1 + tolerance:.2f})")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_PATH,
+                        help="baseline path (default benchmarks/"
+                             "BENCH_perf.json)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed baseline "
+                             "instead of overwriting it")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed wall-clock regression fraction "
+                             "with --check (default 0.25)")
+    parser.add_argument("--ref", default=None, metavar="PATH",
+                        help="a prior suite run (e.g. from the pre-"
+                             "optimisation commit) to record speedups "
+                             "against in the written baseline")
+    parser.add_argument("--snapshot", default=None, metavar="PATH",
+                        help="also write this run's measurements to "
+                             "PATH (useful with --check: the CI gate "
+                             "and the uploaded artifact from one run)")
+    args = parser.parse_args()
+
+    duration = float(os.environ.get("REPRO_PERF_DURATION", "0.1"))
+    passes = int(os.environ.get("REPRO_PERF_PASSES", "2"))
+    current = run_suite(duration, passes)
+
+    if args.snapshot:
+        with open(args.snapshot, "w") as fh:
+            json.dump(current, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"[perf] snapshot written to {args.snapshot}")
+
+    if args.check:
+        try:
+            with open(args.out) as fh:
+                baseline = json.load(fh)
+        except OSError as exc:
+            print(f"[perf] cannot load baseline {args.out}: {exc}")
+            return 2
+        problems = check(current, baseline, args.tolerance)
+        for problem in problems:
+            print(f"[perf] CHECK FAILED {problem}")
+        if problems:
+            return 1
+        print(f"[perf] check passed against {args.out} "
+              f"(tolerance {args.tolerance:.0%})")
+        return 0
+
+    if args.ref:
+        with open(args.ref) as fh:
+            ref = json.load(fh)
+        reference = {"experiments": {}}
+        for exp_id, base in ref.get("experiments", {}).items():
+            cur = current["experiments"].get(exp_id)
+            if cur is None:
+                continue
+            if cur["digest"] != base["digest"]:
+                print(f"[perf] WARNING {exp_id}: digest differs from "
+                      f"reference — speedup not comparable")
+                continue
+            reference["experiments"][exp_id] = {
+                "wall_s": base["wall_s"],
+                "speedup": round(base["wall_s"] / cur["wall_s"], 3),
+            }
+        current["reference"] = reference
+        for exp_id, rec in reference["experiments"].items():
+            print(f"[perf] {exp_id}: {rec['speedup']}x vs reference "
+                  f"({rec['wall_s']:.2f}s -> "
+                  f"{current['experiments'][exp_id]['wall_s']:.2f}s)")
+
+    with open(args.out, "w") as fh:
+        json.dump(current, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"[perf] baseline written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

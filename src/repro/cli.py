@@ -116,8 +116,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         activate_plan(plan)
         plan_active = True
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
     try:
-        print(module.main(**kwargs))
+        if profiler is not None:
+            profiler.enable()
+            try:
+                out = module.main(**kwargs)
+            finally:
+                profiler.disable()
+            print(out)
+        else:
+            print(module.main(**kwargs))
     finally:
         if plan_active:
             from repro.faults.plan import deactivate_plan
@@ -128,6 +141,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
             summary = session.finalize()
             if summary:
                 print(summary)
+    if profiler is not None:
+        import io as _io
+        import os
+        import pstats
+
+        # Drop the profile next to whatever artifact the run produced
+        # (metrics or trace output), falling back to the experiment id.
+        base = args.metrics_out or args.trace
+        if base:
+            prof_path = os.path.splitext(base)[0] + ".pstats"
+        else:
+            prof_path = f"{args.experiment}.pstats"
+        profiler.dump_stats(prof_path)
+        buf = _io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats("tottime").print_stats(15)
+        print(f"[profile] wrote {prof_path} "
+              f"(load with pstats or snakeviz); hottest functions:")
+        # Skip the pstats header lines; show just the table.
+        lines = buf.getvalue().splitlines()
+        try:
+            start = next(i for i, ln in enumerate(lines)
+                         if ln.lstrip().startswith("ncalls"))
+            print("\n".join(lines[start:start + 16]))
+        except StopIteration:  # pragma: no cover - pstats format change
+            print(buf.getvalue())
     return 0
 
 
@@ -296,6 +335,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="inject faults from a JSON/YAML FaultPlan into "
                           "every scenario the experiment builds (see "
                           "docs/faults.md)")
+    run.add_argument("--profile", action="store_true",
+                     help="run under cProfile; writes a .pstats dump next "
+                          "to the --metrics-out/--trace file (or "
+                          "<experiment>.pstats) and prints the hottest "
+                          "functions")
     run.set_defaults(func=_cmd_run)
 
     campaign = sub.add_parser(

@@ -83,6 +83,10 @@ class CallbackNF(NFProcess):
     e.g. a firewall deny — counted separately from congestion drops).
     """
 
+    #: The handler may forward fewer packets than it was handed, so Tx free
+    #: space cannot be tracked arithmetically (see NFProcess._forward_exact).
+    _forward_exact = False
+
     def __init__(self, name, cost_model,
                  handler: Callable[[LibnfAPI, Flow, int, int], int],
                  disk: Optional[DiskDevice] = None, **kwargs):
@@ -91,30 +95,31 @@ class CallbackNF(NFProcess):
         self.api = LibnfAPI(self, disk)
         self.dropped_by_handler = 0
 
-    def _forward(self, segments, now_ns: int,
+    def _forward(self, batch, now_ns: int,
                  svc_ns_per_pkt: float = 0.0) -> bool:
+        # ``batch`` holds (flow, count, enqueue_ns, origin_ns, span) tuples
+        # from PacketRing.dequeue_batch (see NFProcess._forward).
         io_full = False
-        for seg in segments:
-            wait = now_ns - seg.enqueue_ns
+        for flow, count, enqueue_ns, origin_ns, span in batch:
+            wait = now_ns - enqueue_ns
             if wait >= 0:
                 self.latency_hist.add(wait)
-            if seg.span is not None:
-                seg.span.record_hop(self.name, max(0, wait), svc_ns_per_pkt)
-            self.processed_packets += seg.count
-            chain = seg.flow.chain
+            if span is not None:
+                span.record_hop(self.name, max(0, wait), svc_ns_per_pkt)
+            self.processed_packets += count
+            chain = flow.chain
             if chain is not None:
                 self.processed_by_chain[chain.name] = (
-                    self.processed_by_chain.get(chain.name, 0) + seg.count
+                    self.processed_by_chain.get(chain.name, 0) + count
                 )
-            keep = self.handler(self.api, seg.flow, seg.count, now_ns)
-            keep = max(0, min(int(keep), seg.count))
-            self.dropped_by_handler += seg.count - keep
-            if self.io is not None and self._needs_io(seg.flow):
-                ok = self.io.submit(seg.count, seg.count * seg.flow.pkt_size,
-                                    now_ns)
+            keep = self.handler(self.api, flow, count, now_ns)
+            keep = max(0, min(int(keep), count))
+            self.dropped_by_handler += count - keep
+            if self.io is not None and self._needs_io(flow):
+                ok = self.io.submit(count, count * flow.pkt_size, now_ns)
                 if not ok:
                     io_full = True
             if keep > 0:
-                self.tx_ring.enqueue(seg.flow, keep, now_ns,
-                                     origin_ns=seg.origin_ns, span=seg.span)
+                self.tx_ring.enqueue(flow, keep, now_ns,
+                                     origin_ns=origin_ns, span=span)
         return io_full

@@ -27,8 +27,7 @@ from repro.metrics.timeseries import TimeSeries
 from repro.platform.config import PlatformConfig
 from repro.sched.cgroups import CgroupController
 from repro.sim.clock import SEC
-from repro.sim.engine import EventLoop
-from repro.sim.process import PeriodicProcess
+from repro.sim.engine import EventHandle, EventLoop
 
 
 class MonitorThread:
@@ -62,15 +61,18 @@ class MonitorThread:
         self.share_series: Dict[str, TimeSeries] = {
             nf.name: TimeSeries(nf.name) for nf in self.nfs
         }
-        self._proc = PeriodicProcess(
-            loop, int(self.config.monitor_period_ns), self.tick, "monitor"
-        )
+        self._period_ns = int(self.config.monitor_period_ns)
+        self._tick_handle: Optional[EventHandle] = None
 
     def start(self) -> None:
-        self._proc.start()
+        if self._tick_handle is None:
+            self._tick_handle = self.loop.call_every(self._period_ns,
+                                                     self.tick)
 
     def stop(self) -> None:
-        self._proc.stop()
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+            self._tick_handle = None
 
     # ------------------------------------------------------------------
     # Dynamic membership

@@ -24,7 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.metrics.histogram import CycleHistogram, SlidingWindowEstimator
 from repro.platform.config import PlatformConfig
-from repro.platform.packet import Flow, PacketSegment
+from repro.platform.packet import Flow
 from repro.platform.ring import PacketRing
 from repro.sched.base import CoreTask, ExecOutcome, ExecResult
 from repro.sim.clock import SEC
@@ -36,6 +36,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 class NFProcess(CoreTask):
     """A network function running as its own scheduled process."""
+
+    #: True when _forward emits exactly the packets it was handed, letting
+    #: execute() track Tx-ring free space arithmetically.  Subclasses whose
+    #: _forward may drop packets (CallbackNF's handler) must clear this so
+    #: free space is re-read from the ring each batch.
+    _forward_exact = True
 
     def __init__(
         self,
@@ -150,7 +156,11 @@ class NFProcess(CoreTask):
             head = self.rx_ring.peek_head()
             if head is not None and self._needs_io(head.flow):
                 n = 1
-        cycles = self.cost_model.peek_sum(n) - self._cycle_credit
+        cm = self.cost_model
+        if type(cm) is FixedCost:
+            cycles = n * cm.cycles - self._cycle_credit
+        else:
+            cycles = cm.peek_sum(n) - self._cycle_credit
         if cycles <= 0:
             cycles = 1.0
         return cycles * self._ns_per_cycle
@@ -169,41 +179,99 @@ class NFProcess(CoreTask):
         cycles_avail = granted_ns * self._cycles_per_ns + credit_in
         consumed = 0.0
         outcome = ExecOutcome.USED_ALL
+        # Hot-loop locals: the rings and I/O context are stable for the
+        # whole grant; the cost model is re-read each batch because a fault
+        # injector may swap it, but its *type* gates a no-dispatch inline
+        # of FixedCost.consume_upto (the common case by far).
+        rx_ring = self.rx_ring
+        tx_ring = self.tx_ring
+        io = self.io
+        io_sync = io is not None and io.sync
+        batch_size = self.batch_size
+        sample_period = self.config.service_sample_period_ns
+        # Nothing can flip the relinquish flag while execute() runs — the
+        # whole grant happens inside one simulation event — so the per-batch
+        # check of the original loop collapses to a single test up front.
+        # Ring occupancies likewise only change through our own dequeues and
+        # enqueues here (exactly k per batch, the reserved space cannot
+        # drop), so they are tracked arithmetically instead of re-read.
+        if self.relinquish:
+            outcome = ExecOutcome.FLAG_YIELD
+        else:
+            qlen = rx_ring._count
+            free = tx_ring.capacity - tx_ring._count
+            # Without I/O the only per-batch side effects outside this
+            # loop's arithmetic are the dequeue and the Tx enqueue — and
+            # consecutive same-segment runs coalesce in the Tx ring anyway
+            # (same flow/instant/origin), so deferring the forwarding to
+            # one fused flush after the loop yields byte-identical ring
+            # contents while paying the dequeue/forward cost once per
+            # grant instead of once per batch.  The budget, credit and
+            # sampling arithmetic stays per-batch: float operation order
+            # is digest-load-bearing.
+            fuse = io is None and self._forward_exact
+            pending = 0
+            svc_ns = 0.0
+            while True:
+                if io is not None and io.blocked:
+                    outcome = ExecOutcome.IO_BLOCKED
+                    break
+                if qlen == 0:
+                    outcome = ExecOutcome.RAN_OUT
+                    break
+                if free == 0:
+                    outcome = ExecOutcome.TX_BLOCKED
+                    break
 
-        while True:
-            # Batch boundary: the relinquish flag is checked between batches.
-            if self.relinquish:
-                outcome = ExecOutcome.FLAG_YIELD
-                break
-            if self.io is not None and self.io.blocked:
-                outcome = ExecOutcome.IO_BLOCKED
-                break
-            qlen = len(self.rx_ring)
-            if qlen == 0:
-                outcome = ExecOutcome.RAN_OUT
-                break
-            free = self.tx_ring.free
-            if free == 0:
-                outcome = ExecOutcome.TX_BLOCKED
-                break
-
-            batch = min(self.batch_size, qlen, free)
-            if self.io is not None and self.io.sync:
-                head = self.rx_ring.peek_head()
-                if head is not None and self._needs_io(head.flow):
-                    batch = 1
-            k, cyc = self.cost_model.consume_upto(cycles_avail - consumed, batch)
-            if k == 0:
-                # Out of cycles for even one more packet.
-                outcome = ExecOutcome.USED_ALL
-                break
-            consumed += cyc
-            io_full = self._forward(self.rx_ring.dequeue(k), now_ns,
-                                    (cyc / k) * self._ns_per_cycle)
-            self._maybe_sample(now_ns, cyc, k)
-            if io_full:
-                outcome = ExecOutcome.IO_BLOCKED
-                break
+                batch = batch_size
+                if qlen < batch:
+                    batch = qlen
+                if free < batch:
+                    batch = free
+                if io_sync:
+                    head = rx_ring.peek_head()
+                    if head is not None and self._needs_io(head.flow):
+                        batch = 1
+                cm = self.cost_model
+                if type(cm) is FixedCost:
+                    c = cm.cycles
+                    budget = cycles_avail - consumed
+                    if budget < c:
+                        k = 0
+                    else:
+                        k = int(budget // c)
+                        if k > batch:
+                            k = batch
+                        cyc = k * c
+                else:
+                    k, cyc = cm.consume_upto(cycles_avail - consumed, batch)
+                if k == 0:
+                    # Out of cycles for even one more packet.
+                    outcome = ExecOutcome.USED_ALL
+                    break
+                consumed += cyc
+                qlen -= k
+                svc_ns = (cyc / k) * self._ns_per_cycle
+                if fuse:
+                    pending += k
+                    free -= k
+                    io_full = False
+                else:
+                    io_full = self._forward(rx_ring.dequeue_batch(k),
+                                            now_ns, svc_ns)
+                    if self._forward_exact:
+                        free -= k
+                    else:
+                        free = tx_ring.capacity - tx_ring._count
+                if now_ns - self._last_sample_ns >= sample_period:
+                    self._last_sample_ns = now_ns
+                    self.service_estimator.add(now_ns, svc_ns)
+                if io_full:
+                    outcome = ExecOutcome.IO_BLOCKED
+                    break
+            if pending:
+                self._forward(rx_ring.dequeue_batch(pending), now_ns,
+                              svc_ns)
 
         if outcome is ExecOutcome.USED_ALL:
             self._cycle_credit = cycles_avail - consumed
@@ -220,34 +288,42 @@ class NFProcess(CoreTask):
     def _needs_io(self, flow: Flow) -> bool:
         return self.io_selector is None or self.io_selector(flow)
 
-    def _forward(self, segments: List[PacketSegment], now_ns: int,
+    def _forward(self, batch: List[Tuple], now_ns: int,
                  svc_ns_per_pkt: float = 0.0) -> bool:
-        """Emit processed segments to the Tx ring; returns True if the I/O
-        context became full (NF must yield)."""
+        """Emit processed packet runs to the Tx ring; returns True if the
+        I/O context became full (NF must yield).
+
+        ``batch`` holds ``(flow, count, enqueue_ns, origin_ns, span)``
+        tuples from :meth:`PacketRing.dequeue_batch`.
+        """
         io_full = False
-        for seg in segments:
-            wait = now_ns - seg.enqueue_ns
+        hist_add = self.latency_hist.add
+        by_chain = self.processed_by_chain
+        io = self.io
+        tx_enqueue = self.tx_ring.enqueue
+        processed = 0
+        for flow, count, enqueue_ns, origin_ns, span in batch:
+            wait = now_ns - enqueue_ns
             if wait >= 0:
-                self.latency_hist.add(wait)
-            if seg.span is not None:
+                hist_add(wait)
+            if span is not None:
                 # Sampled packet: this hop's queue wait and service time.
-                seg.span.record_hop(self.name, max(0, wait), svc_ns_per_pkt)
-            self.processed_packets += seg.count
-            chain = seg.flow.chain
+                span.record_hop(self.name, max(0, wait), svc_ns_per_pkt)
+            processed += count
+            chain = flow.chain
             if chain is not None:
                 key = chain.name
-                self.processed_by_chain[key] = (
-                    self.processed_by_chain.get(key, 0) + seg.count
-                )
-            if self.io is not None and self._needs_io(seg.flow):
-                ok = self.io.submit(
-                    seg.count, seg.count * seg.flow.pkt_size, now_ns
-                )
+                try:
+                    by_chain[key] += count
+                except KeyError:
+                    by_chain[key] = count
+            if io is not None and self._needs_io(flow):
+                ok = io.submit(count, count * flow.pkt_size, now_ns)
                 if not ok:
                     io_full = True
             # Space was reserved (batch <= tx free), so this cannot drop.
-            self.tx_ring.enqueue(seg.flow, seg.count, now_ns,
-                                 origin_ns=seg.origin_ns, span=seg.span)
+            tx_enqueue(flow, count, now_ns, origin_ns=origin_ns, span=span)
+        self.processed_packets += processed
         return io_full
 
     def _maybe_sample(self, now_ns: int, cycles: float, packets: int) -> None:
@@ -310,3 +386,11 @@ class NFProcess(CoreTask):
             f"NFProcess({self.name!r}, rx={len(self.rx_ring)}, "
             f"tx={len(self.tx_ring)}, {self.state.value})"
         )
+
+
+# Imported at the bottom: repro.nfs.catalog imports NFProcess from this
+# module, so a top-of-file import would be circular whichever side loads
+# first.  Down here both cycles resolve — NFProcess is already defined when
+# the nested import comes back around.  execute() needs the concrete class
+# for its no-dispatch FixedCost fast path.
+from repro.nfs.cost_models import FixedCost  # noqa: E402

@@ -138,6 +138,12 @@ class ScenarioResult:
     #: no fault plan): incident log, availability, detection/recovery
     #: latencies, packets lost vs requeued.  JSON-safe, digest-covered.
     resilience: Dict[str, Any] = field(default_factory=dict)
+    #: Event-loop hygiene counters captured at the end of the run
+    #: (pushes, pops, lazy_cancel_skips, compactions, peak_heap).
+    #: Machine-speed metadata for the perf suite — deliberately NOT
+    #: serialised by :func:`repro.analysis.export.result_to_dict`, so it
+    #: never enters a digest.
+    loop_stats: Dict[str, int] = field(default_factory=dict)
 
     def nf(self, name: str) -> NFSummary:
         return self.nfs[name]
@@ -324,6 +330,13 @@ class Scenario:
                 mgr.faults.summary(horizon_ns=int(duration_s * SEC))
                 if mgr.faults is not None else {}
             ),
+            loop_stats={
+                "pushes": self.loop.pushes,
+                "pops": self.loop.pops,
+                "lazy_cancel_skips": self.loop.lazy_cancel_skips,
+                "compactions": self.loop.compactions,
+                "peak_heap": self.loop.peak_heap,
+            },
         )
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
+from math import log as _log
 from typing import Deque, List, Optional, Tuple
 
 
@@ -50,12 +51,26 @@ class CycleHistogram:
             raise ValueError(f"negative sample: {value!r}")
         if weight <= 0:
             raise ValueError(f"weight must be positive, got {weight!r}")
-        self._counts[self._bucket(value)] += weight
+        # _bucket() inlined: add() runs once per forwarded segment, and the
+        # extra call frame showed up in profiles.  The math must stay
+        # bit-identical to _bucket() — percentiles feed digest-checked
+        # results.
+        counts = self._counts
+        if value < 1.0:
+            idx = 0
+        else:
+            idx = int(_log(value) * self._scale) + 1
+            last = len(counts) - 1
+            if idx > last:
+                idx = last
+        counts[idx] += weight
         self.count += weight
         self.total += value * weight
-        if self.min is None or value < self.min:
+        mn = self.min
+        if mn is None or value < mn:
             self.min = value
-        if self.max is None or value > self.max:
+        mx = self.max
+        if mx is None or value > mx:
             self.max = value
 
     @property

@@ -17,8 +17,18 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-#: Draws fetched from the RNG at a time.
+#: Draws appended to the prefix-sum buffer at a time.  This quantum is
+#: load-bearing for reproducibility: the float grouping of the running
+#: cumulative sum depends on where the ``np.cumsum`` chunks break, so
+#: changing it would shift digest-checked results by ULPs.  Widening the
+#: *RNG* batch happens one layer down (see ``_RAW_REFILL``), which leaves
+#: the cumulative-sum chunking untouched.
 _REFILL = 1024
+#: Values pulled from the underlying RNG per call.  numpy's vectorized
+#: samplers consume the bit stream per-value, so one size-8192 draw yields
+#: the same values as eight size-1024 draws — pinned by
+#: ``tests/test_perf_equivalence.py``.
+_RAW_REFILL = 8192
 #: Compact the consumed prefix when it exceeds this many entries.
 _COMPACT = 65536
 
@@ -77,10 +87,35 @@ class BufferedCost(CostModel):
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._cum = np.zeros(1)  # _cum[i] = total cost of first i buffered pkts
         self._pos = 0            # packets already consumed from the buffer
+        self._raw = np.zeros(0)  # draw-ahead pool of un-summed RNG values
+        self._raw_pos = 0
+
+    def _draw_block(self, n: int) -> np.ndarray:
+        """Produce ``n`` per-packet costs from the RNG (subclass duty)."""
+        raise NotImplementedError
 
     def _draw(self, n: int) -> np.ndarray:
-        """Produce ``n`` per-packet costs (subclass responsibility)."""
-        raise NotImplementedError
+        """Serve ``n`` costs from the draw-ahead pool, refilling in bulk.
+
+        Amortises the per-call overhead of the numpy samplers (argument
+        checking, method dispatch) across ``_RAW_REFILL`` values while the
+        value *stream* stays identical to drawing ``n`` at a time.
+        """
+        raw = self._raw
+        pos = self._raw_pos
+        avail = len(raw) - pos
+        if avail >= n:
+            self._raw_pos = pos + n
+            return raw[pos:pos + n]
+        need = n - avail
+        block = self._draw_block(need if need > _RAW_REFILL else _RAW_REFILL)
+        if avail == 0:
+            self._raw = block
+            self._raw_pos = need
+            return block[:need]
+        self._raw = block
+        self._raw_pos = need
+        return np.concatenate([raw[pos:], block[:need]])
 
     def _ensure(self, n: int) -> None:
         """Grow the buffer until ``n`` un-consumed draws are available."""
@@ -149,7 +184,7 @@ class ChoiceCost(BufferedCost):
                 raise ValueError(f"probabilities must sum to 1, got {total}")
         self.mean_cycles = float(np.dot(self.values, self.probabilities))
 
-    def _draw(self, n: int) -> np.ndarray:
+    def _draw_block(self, n: int) -> np.ndarray:
         return self._rng.choice(self.values, size=n, p=self.probabilities)
 
 
@@ -165,7 +200,7 @@ class NormalCost(BufferedCost):
         self.std = float(std)
         self.mean_cycles = self.mean
 
-    def _draw(self, n: int) -> np.ndarray:
+    def _draw_block(self, n: int) -> np.ndarray:
         return self._rng.normal(self.mean, self.std, size=n)
 
 
@@ -181,7 +216,7 @@ class UniformCost(BufferedCost):
         self.high = float(high)
         self.mean_cycles = 0.5 * (self.low + self.high)
 
-    def _draw(self, n: int) -> np.ndarray:
+    def _draw_block(self, n: int) -> np.ndarray:
         return self._rng.uniform(self.low, self.high, size=n)
 
 
@@ -196,7 +231,7 @@ class ExponentialCost(BufferedCost):
         self.mean = float(mean)
         self.mean_cycles = self.mean
 
-    def _draw(self, n: int) -> np.ndarray:
+    def _draw_block(self, n: int) -> np.ndarray:
         return self._rng.exponential(self.mean, size=n)
 
 
@@ -215,15 +250,34 @@ class ScaledCost(CostModel):
         self.inner = inner
         self.factor = float(factor)
         self.mean_cycles = inner.mean_cycles * self.factor
+        # Cached fast path for the common fixed-cost inner model: the
+        # whole consume_upto collapses to arithmetic, with the float
+        # operations in the exact order of the delegated path
+        # (budget/factor, floor-divide by cycles, k*cycles, then *factor).
+        self._fixed_cycles = (
+            inner.cycles if type(inner) is FixedCost else None
+        )
 
     def peek_sum(self, n: int) -> float:
         if n <= 0:
             return 0.0
+        c = self._fixed_cycles
+        if c is not None:
+            return (n * c) * self.factor
         return self.inner.peek_sum(n) * self.factor
 
     def consume_upto(self, budget_cycles: float, max_packets: int) -> Tuple[int, float]:
         if max_packets <= 0 or budget_cycles <= 0:
             return 0, 0.0
+        c = self._fixed_cycles
+        if c is not None:
+            b = budget_cycles / self.factor
+            if b < c:
+                return 0, 0.0
+            k = int(b // c)
+            if k > max_packets:
+                k = max_packets
+            return k, (k * c) * self.factor
         k, used = self.inner.consume_upto(budget_cycles / self.factor,
                                           max_packets)
         return k, used * self.factor

@@ -154,6 +154,48 @@ class ObsSession:
                       "scheduler dispatch count",
                       fn=(lambda c=core: c.stats.dispatches),
                       core=str(core_id), scenario=scenario)
+        # Event-loop hygiene: heap traffic and how well lazy cancellation
+        # and the periodic fast path are containing it.
+        loop = mgr.loop
+        reg.gauge("repro_loop_event_pushes",
+                  "heap inserts, periodic re-arms included",
+                  fn=(lambda l=loop: l.pushes), scenario=scenario)
+        reg.gauge("repro_loop_event_pops",
+                  "events fired",
+                  fn=(lambda l=loop: l.pops), scenario=scenario)
+        reg.gauge("repro_loop_lazy_cancel_skips",
+                  "cancelled heap entries discarded on pop",
+                  fn=(lambda l=loop: l.lazy_cancel_skips), scenario=scenario)
+        reg.gauge("repro_loop_compactions",
+                  "in-place heap rebuilds triggered by cancel churn",
+                  fn=(lambda l=loop: l.compactions), scenario=scenario)
+        reg.gauge("repro_loop_peak_heap",
+                  "high-water mark of the event heap",
+                  fn=(lambda l=loop: l.peak_heap), scenario=scenario)
+        # Ring coalescing effectiveness, aggregated over every NF ring:
+        # hit rate near 1.0 means bursty arrivals are merging into single
+        # segments instead of allocating per-enqueue.
+        rings = [r for nf in mgr.nfs for r in (nf.rx_ring, nf.tx_ring)]
+        rings.append(mgr.nic.rx_ring)
+
+        def _coalesce_rate(rs=tuple(rings)) -> float:
+            hits = sum(r.coalesce_hits for r in rs)
+            total = hits + sum(r.coalesce_misses for r in rs)
+            return hits / total if total else 0.0
+
+        reg.gauge("repro_ring_coalesce_hits",
+                  "enqueues merged into an existing tail segment",
+                  fn=(lambda rs=tuple(rings):
+                      sum(r.coalesce_hits for r in rs)),
+                  scenario=scenario)
+        reg.gauge("repro_ring_coalesce_misses",
+                  "enqueues that appended a new segment",
+                  fn=(lambda rs=tuple(rings):
+                      sum(r.coalesce_misses for r in rs)),
+                  scenario=scenario)
+        reg.gauge("repro_ring_coalesce_hit_rate",
+                  "fraction of enqueues absorbed by tail merging",
+                  fn=_coalesce_rate, scenario=scenario)
 
     # ------------------------------------------------------------------
     def finalize(self) -> str:

@@ -40,6 +40,7 @@ class PacketRing:
         high_watermark: float = 0.80,
         low_watermark: float = 0.60,
         name: str = "",
+        coalesce: bool = True,
     ):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -66,6 +67,12 @@ class PacketRing:
         self.enqueued_total = 0
         self.dropped_total = 0
         self.dequeued_total = 0
+        #: Same-instant tail merging (see :meth:`enqueue`).  Off switch
+        #: exists for the property tests that compare coalesced against
+        #: uncoalesced behaviour; production rings always coalesce.
+        self.coalesce = coalesce
+        self.coalesce_hits = 0    # enqueues merged into the tail segment
+        self.coalesce_misses = 0  # enqueues that appended a new segment
         #: Drops keyed by reason (see :data:`DROP_REASONS`); values sum to
         #: ``dropped_total``.
         self.drops_by_reason: Dict[str, int] = {}
@@ -124,8 +131,9 @@ class PacketRing:
         evaluated *after* the enqueue, which is the feedback the Tx thread
         uses for overload detection.
         """
+        cur = self._count
         if count <= 0:
-            return 0, 0, self.above_high
+            return 0, 0, cur >= self.high_watermark
         if self.sealed or self.dead:
             reason = "sealed" if self.sealed else "nf_dead"
             self.dropped_total += count
@@ -135,32 +143,47 @@ class PacketRing:
             flow.stats.queue_drops += count
             if self.bus is not None and self.bus.active:
                 self.bus.publish("ring.drop", self.name, count=count,
-                                 depth=self._count, reason=reason)
-            return 0, count, self.above_high
-        origin = int(now_ns) if origin_ns is None else int(origin_ns)
-        accepted = min(count, self.free)
-        dropped = count - accepted
+                                 depth=cur, reason=reason)
+            return 0, count, cur >= self.high_watermark
+        now = int(now_ns)
+        origin = now if origin_ns is None else int(origin_ns)
+        free = self.capacity - cur
+        if count <= free:
+            accepted = count
+            dropped = 0
+        else:
+            accepted = free
+            dropped = count - free
         if accepted > 0:
-            tail = self._segments[-1] if self._segments else None
+            segments = self._segments
+            tail = segments[-1] if segments else None
             if (
                 span is None
                 and tail is not None
+                and self.coalesce
                 and tail.flow is flow
-                and tail.enqueue_ns == int(now_ns)
+                and tail.enqueue_ns == now
                 and tail.origin_ns == origin
             ):
                 # Merge back-to-back same-flow arrivals into one segment.
                 tail.count += accepted
+                self.coalesce_hits += 1
             else:
-                seg = PacketSegment(flow, accepted, int(now_ns), origin)
+                seg = PacketSegment(flow, accepted, now, origin)
                 seg.span = span
-                self._segments.append(seg)
-            self._count += accepted
+                segments.append(seg)
+                self.coalesce_misses += 1
+            cur += accepted
+            self._count = cur
             self.enqueued_total += accepted
             chain = flow.chain
             if chain is not None:
                 key = chain.name
-                self._chain_counts[key] = self._chain_counts.get(key, 0) + accepted
+                counts = self._chain_counts
+                try:
+                    counts[key] += accepted
+                except KeyError:
+                    counts[key] = accepted
         if dropped > 0:
             self.dropped_total += dropped
             self.drops_by_reason["full"] = (
@@ -170,12 +193,12 @@ class PacketRing:
         if self.bus is not None and self.bus.active:
             if accepted > 0:
                 self.bus.publish("ring.enqueue", self.name,
-                                 count=accepted, depth=self._count)
+                                 count=accepted, depth=cur)
             if dropped > 0:
                 self.bus.publish("ring.drop", self.name,
-                                 count=dropped, depth=self._count,
+                                 count=dropped, depth=cur,
                                  reason="full")
-        return accepted, dropped, self.above_high
+        return accepted, dropped, cur >= self.high_watermark
 
     def enqueue_segment(self, segment: PacketSegment, now_ns: int) -> Tuple[int, int, bool]:
         """Enqueue an existing segment (re-stamps enqueue, keeps origin)."""
@@ -193,23 +216,75 @@ class PacketRing:
         out: List[PacketSegment] = []
         remaining = max_packets
         segments = self._segments
+        chain_counts = self._chain_counts
+        taken_total = 0
         while remaining > 0 and segments:
             head = segments[0]
-            if head.count <= remaining:
+            n = head.count
+            if n <= remaining:
                 segments.popleft()
                 taken = head
             else:
                 taken = head.split(remaining)
+                n = taken.count
             out.append(taken)
-            remaining -= taken.count
-            self._count -= taken.count
-            self.dequeued_total += taken.count
+            remaining -= n
+            taken_total += n
             chain = taken.flow.chain
             if chain is not None:
-                self._chain_counts[chain.name] -= taken.count
-        if out and self.bus is not None and self.bus.active:
-            self.bus.publish("ring.dequeue", self.name,
-                             count=max_packets - remaining, depth=self._count)
+                chain_counts[chain.name] -= n
+        if taken_total:
+            self._count -= taken_total
+            self.dequeued_total += taken_total
+            if self.bus is not None and self.bus.active:
+                self.bus.publish("ring.dequeue", self.name,
+                                 count=taken_total, depth=self._count)
+        return out
+
+    def dequeue_batch(self, max_packets: int) -> List[Tuple]:
+        """Like :meth:`dequeue` but yields ``(flow, count, enqueue_ns,
+        origin_ns, span)`` tuples instead of segments.
+
+        A partial take decrements the head segment in place — no
+        :class:`PacketSegment` is allocated for the split-off run.  This is
+        the NF execute path: batch-bounded dequeues chop large coalesced
+        arrival segments dozens of times, and the segment objects would be
+        torn apart immediately anyway.  Accounting and span movement are
+        identical to ``dequeue`` + ``PacketSegment.split``.
+        """
+        if max_packets <= 0 or self.sealed:
+            return []
+        out: List[Tuple] = []
+        remaining = max_packets
+        segments = self._segments
+        chain_counts = self._chain_counts
+        taken_total = 0
+        while remaining > 0 and segments:
+            head = segments[0]
+            n = head.count
+            flow = head.flow
+            if n <= remaining:
+                segments.popleft()
+                out.append((flow, n, head.enqueue_ns, head.origin_ns,
+                            head.span))
+            else:
+                n = remaining
+                # The head packet — and its span — leaves with this run.
+                out.append((flow, n, head.enqueue_ns, head.origin_ns,
+                            head.span))
+                head.span = None
+                head.count -= n
+            remaining -= n
+            taken_total += n
+            chain = flow.chain
+            if chain is not None:
+                chain_counts[chain.name] -= n
+        if taken_total:
+            self._count -= taken_total
+            self.dequeued_total += taken_total
+            if self.bus is not None and self.bus.active:
+                self.bus.publish("ring.dequeue", self.name,
+                                 count=taken_total, depth=self._count)
         return out
 
     def peek_head(self) -> Optional[PacketSegment]:

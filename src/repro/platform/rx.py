@@ -18,8 +18,7 @@ from repro.platform.config import PlatformConfig
 from repro.platform.flow_table import FlowTable
 from repro.platform.nic import NIC
 from repro.platform.wakeup import WakeupSubsystem
-from repro.sim.engine import EventLoop
-from repro.sim.process import PeriodicProcess
+from repro.sim.engine import EventHandle, EventLoop
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.backpressure import BackpressureController
@@ -60,15 +59,19 @@ class RxThread:
                 cap * self.config.num_rx_threads * self.config.rx_poll_ns / 1e9
             )
         self._budget_carry = 0.0
-        self._proc = PeriodicProcess(
-            loop, int(self.config.rx_poll_ns), self.poll, "rx-thread"
-        )
+        self._poll_ns = int(self.config.rx_poll_ns)
+        self._tick: Optional[EventHandle] = None
 
     def start(self) -> None:
-        self._proc.start()
+        if self._tick is None:
+            # Recurring handle re-armed in place by the loop — no per-poll
+            # event allocation (EventLoop.call_every).
+            self._tick = self.loop.call_every(self._poll_ns, self.poll)
 
     def stop(self) -> None:
-        self._proc.stop()
+        if self._tick is not None:
+            self._tick.cancel()
+            self._tick = None
 
     # ------------------------------------------------------------------
     def poll(self) -> None:

@@ -23,8 +23,7 @@ from typing import List, Optional, TYPE_CHECKING
 from repro.platform.config import PlatformConfig
 from repro.platform.nic import NIC
 from repro.platform.wakeup import WakeupSubsystem
-from repro.sim.engine import EventLoop
-from repro.sim.process import PeriodicProcess
+from repro.sim.engine import EventHandle, EventLoop
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.backpressure import BackpressureController
@@ -55,18 +54,21 @@ class TxThread:
         self.forwarded = 0
         self.egressed = 0
         self.wasted_drops = 0
-        self._proc = PeriodicProcess(
-            loop, int(self.config.tx_poll_ns), self.poll, "tx-thread"
-        )
+        self._poll_ns = int(self.config.tx_poll_ns)
+        self._tick: Optional[EventHandle] = None
 
     def start(self, phase_ns: int = 0) -> None:
         """Begin polling; ``phase_ns`` staggers multiple Tx threads so they
         interleave instead of firing back to back."""
-        self._proc.start(start_at=self.loop.now + self._proc.period
-                         + int(phase_ns))
+        if self._tick is None:
+            self._tick = self.loop.call_every(
+                self._poll_ns, self.poll,
+                first=self.loop.now + self._poll_ns + int(phase_ns))
 
     def stop(self) -> None:
-        self._proc.stop()
+        if self._tick is not None:
+            self._tick.cancel()
+            self._tick = None
 
     # ------------------------------------------------------------------
     def poll(self) -> None:

@@ -21,8 +21,7 @@ from typing import List, Optional, TYPE_CHECKING
 
 from repro.platform.config import PlatformConfig
 from repro.sched.base import TaskState
-from repro.sim.engine import EventLoop
-from repro.sim.process import PeriodicProcess
+from repro.sim.engine import EventHandle, EventLoop
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.backpressure import BackpressureController
@@ -46,15 +45,17 @@ class WakeupSubsystem:
         self.wakeups_posted = 0
         #: Optional :class:`repro.obs.bus.EventBus` (wired by the manager).
         self.bus = None
-        self._proc = PeriodicProcess(
-            loop, int(self.config.wakeup_scan_ns), self.scan, "wakeup"
-        )
+        self._scan_ns = int(self.config.wakeup_scan_ns)
+        self._tick: Optional[EventHandle] = None
 
     def start(self) -> None:
-        self._proc.start()
+        if self._tick is None:
+            self._tick = self.loop.call_every(self._scan_ns, self.scan)
 
     def stop(self) -> None:
-        self._proc.stop()
+        if self._tick is not None:
+            self._tick.cancel()
+            self._tick = None
 
     # ------------------------------------------------------------------
     # Dynamic membership (NFs may register/retire after construction:

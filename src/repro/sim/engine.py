@@ -13,6 +13,15 @@ entries outnumber live ones (and the heap is big enough to care), the heap
 is compacted in place — an O(n) filter + heapify amortised against the
 O(n) of cancellations it takes to get there.  Entries keep their
 ``(time, sequence)`` ranks, so compaction never changes event order.
+
+Recurring events have a dedicated fast path: :meth:`EventLoop.call_every`
+re-arms a periodic handle *in place* with a single ``heapreplace`` sift —
+no per-tick handle allocation, no pop-then-push, no cancel churn.  The
+manager's Rx/Tx/Wakeup/Monitor ticks and the traffic generator all ride
+this path; on tick-heavy runs the majority of events never allocate.
+Ordering is bit-compatible with the cancel+reschedule idiom it replaces:
+the re-arm consumes one sequence number *before* the callback runs, which
+is exactly what ``PeriodicProcess`` did by rescheduling first.
 """
 
 from __future__ import annotations
@@ -21,14 +30,25 @@ import heapq
 import math
 from typing import Callable, List, Optional
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_heapreplace = heapq.heapreplace
+
 
 class EventHandle:
-    """A scheduled callback; ``cancel()`` prevents it from firing."""
+    """A scheduled callback; ``cancel()`` prevents it from firing.
 
-    __slots__ = ("time", "callback", "cancelled", "_loop")
+    ``period`` is 0 for one-shot events; periodic handles (from
+    :meth:`EventLoop.call_every`) carry their re-arm interval and stay
+    live across fires until cancelled.
+    """
 
-    def __init__(self, time: int, callback: Callable[[], None], loop: "EventLoop"):
+    __slots__ = ("time", "period", "callback", "cancelled", "_loop")
+
+    def __init__(self, time: int, callback: Callable[[], None], loop: "EventLoop",
+                 period: int = 0):
         self.time = time
+        self.period = period
         self.callback = callback
         self.cancelled = False
         self._loop = loop
@@ -65,6 +85,13 @@ class EventLoop:
         self._heap: List = []
         self._seq: int = 0
         self._live_events: int = 0
+        # Hygiene counters (exposed as repro.obs gauges and recorded by the
+        # perf suite).  Plain int adds; cheap enough for the hot loop.
+        self.pushes: int = 0            # heap inserts, re-arms included
+        self.pops: int = 0              # events actually fired
+        self.lazy_cancel_skips: int = 0  # dead entries discarded on pop
+        self.compactions: int = 0       # in-place heap rebuilds
+        self.peak_heap: int = 0         # high-water mark of len(heap)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -73,15 +100,24 @@ class EventLoop:
         """Schedule ``callback`` at absolute simulated time ``time`` (ns).
 
         ``time`` is rounded up to an integer nanosecond and clamped to
-        ``now`` so an event can never fire in the past.
+        ``now`` so an event can never fire in the past.  Integer times
+        take a fast path that never touches floating point, so nanosecond
+        precision survives past 2**53 ns (float doubles lose integer
+        exactness there, which would misorder events in very long runs).
         """
-        t = int(math.ceil(time))
+        if type(time) is int:
+            t = time
+        else:
+            t = int(math.ceil(time))
         if t < self.now:
             t = self.now
         handle = EventHandle(t, callback, self)
         self._seq += 1
-        heapq.heappush(self._heap, (t, self._seq, handle))
+        _heappush(self._heap, (t, self._seq, handle))
         self._live_events += 1
+        self.pushes += 1
+        if len(self._heap) > self.peak_heap:
+            self.peak_heap = len(self._heap)
         return handle
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
@@ -90,6 +126,37 @@ class EventLoop:
             raise ValueError(f"negative delay: {delay!r}")
         return self.call_at(self.now + delay, callback)
 
+    def call_every(self, period: int, callback: Callable[[], None],
+                   first: Optional[int] = None) -> EventHandle:
+        """Schedule ``callback`` every ``period`` ns, starting at ``first``
+        (default: one period from now).
+
+        Returns a single :class:`EventHandle` that re-arms itself in place
+        each fire — ``cancel()`` it to stop the recurrence.  Equivalent in
+        firing instants and tie-break order to rescheduling a one-shot
+        event from inside its own callback, but without the per-tick
+        handle allocation and pop+push heap churn.
+        """
+        period = int(period)
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        if first is None:
+            t = self.now + period
+        elif type(first) is int:
+            t = first
+        else:
+            t = int(math.ceil(first))
+        if t < self.now:
+            t = self.now
+        handle = EventHandle(t, callback, self, period)
+        self._seq += 1
+        _heappush(self._heap, (t, self._seq, handle))
+        self._live_events += 1
+        self.pushes += 1
+        if len(self._heap) > self.peak_heap:
+            self.peak_heap = len(self._heap)
+        return handle
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -97,14 +164,30 @@ class EventLoop:
         """Run the next pending event.  Returns False when the queue is empty."""
         heap = self._heap
         while heap:
-            t, _seq, handle = heapq.heappop(heap)
+            entry = heap[0]
+            handle = entry[2]
             if handle.cancelled:
+                _heappop(heap)
+                self.lazy_cancel_skips += 1
                 continue
-            # Mark fired so a late cancel() is a no-op instead of a
-            # double-decrement of the live counter.
-            handle.cancelled = True
-            self._live_events -= 1
+            t = entry[0]
             self.now = t
+            self.pops += 1
+            period = handle.period
+            if period:
+                # Re-arm in place: one sift replaces pop+push, and the
+                # sequence number is consumed before the callback exactly
+                # as the reschedule-first idiom did.
+                self._seq += 1
+                handle.time = t + period
+                _heapreplace(heap, (handle.time, self._seq, handle))
+                self.pushes += 1
+            else:
+                _heappop(heap)
+                # Mark fired so a late cancel() is a no-op instead of a
+                # double-decrement of the live counter.
+                handle.cancelled = True
+                self._live_events -= 1
             handle.callback()
             return True
         return False
@@ -115,19 +198,34 @@ class EventLoop:
         Events scheduled exactly at ``t_end`` *do* run, so periodic samplers
         aligned with the horizon record their final sample.
         """
-        t_end = int(t_end)
+        if type(t_end) is not int:
+            t_end = int(t_end)
         heap = self._heap
+        pops = 0
         while heap:
-            t, _seq, handle = heap[0]
+            entry = heap[0]
+            t = entry[0]
             if t > t_end:
                 break
-            heapq.heappop(heap)
+            handle = entry[2]
             if handle.cancelled:
+                _heappop(heap)
+                self.lazy_cancel_skips += 1
                 continue
-            handle.cancelled = True  # fired; see step()
-            self._live_events -= 1
             self.now = t
+            pops += 1
+            period = handle.period
+            if period:
+                self._seq += 1
+                handle.time = t + period
+                _heapreplace(heap, (handle.time, self._seq, handle))
+                self.pushes += 1
+            else:
+                _heappop(heap)
+                handle.cancelled = True  # fired; see step()
+                self._live_events -= 1
             handle.callback()
+        self.pops += pops
         if self.now < t_end:
             self.now = t_end
 
@@ -146,8 +244,9 @@ class EventLoop:
     def _maybe_compact(self) -> None:
         """Rebuild the heap once cancelled entries outnumber live ones.
 
-        Every heap entry is either live or cancelled (fired entries are
-        popped), so the dead count is ``len(heap) - _live_events``.
+        Every heap entry is either live or cancelled (fired one-shot
+        entries are popped, periodic entries stay live until cancelled),
+        so the dead count is ``len(heap) - _live_events``.
         """
         heap = self._heap
         if len(heap) < self._COMPACT_MIN_SIZE:
@@ -161,6 +260,7 @@ class EventLoop:
         # scheduled after the compaction.
         heap[:] = [entry for entry in heap if not entry[2].cancelled]
         heapq.heapify(heap)
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # Introspection

@@ -4,6 +4,13 @@ The NF Manager's dedicated-core threads (Rx, Tx, Wakeup, Monitor — paper
 §3.1) are modelled as periodic processes: each fires its callback on a fixed
 period.  They run on dedicated cores in the paper, so in the simulation they
 never contend with NFs for CPU and a plain timer is a faithful model.
+
+``PeriodicProcess`` is now a thin wrapper over
+:meth:`repro.sim.engine.EventLoop.call_every`, which re-arms one recurring
+handle in place instead of cancelling and re-pushing a fresh event every
+tick.  Firing instants and same-instant ordering are identical to the old
+reschedule-from-the-callback implementation (the re-arm consumes the tie-break
+sequence number before the callback in both).
 """
 
 from __future__ import annotations
@@ -20,6 +27,9 @@ class PeriodicProcess:
     ``start()``).  A ``phase`` offset lets several same-period processes
     interleave deterministically instead of firing in creation order.
     """
+
+    __slots__ = ("loop", "period", "callback", "name", "running", "fired",
+                 "_handle")
 
     def __init__(
         self,
@@ -43,8 +53,8 @@ class PeriodicProcess:
         if self.running:
             return
         self.running = True
-        first = self.loop.now + self.period if start_at is None else start_at
-        self._handle = self.loop.call_at(first, self._fire)
+        self._handle = self.loop.call_every(self.period, self._fire,
+                                            first=start_at)
 
     def stop(self) -> None:
         """Stop firing; a pending invocation is cancelled."""
@@ -56,8 +66,6 @@ class PeriodicProcess:
     def _fire(self) -> None:
         if not self.running:
             return
-        # Re-arm first: the callback may inspect `pending` or stop us.
-        self._handle = self.loop.schedule(self.period, self._fire)
         self.fired += 1
         self.callback()
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.platform.packet import Flow
 
@@ -34,6 +34,14 @@ class FlowSpec:
         self.stop_ns = None if stop_ns is None else int(stop_ns)
         self.pattern = pattern
         self._carry = 0.0  # fractional packets carried between ticks
+        # Precomputed per-tick counts (see next_count).  The batch is a
+        # pure function of (_carry, rate, dt) for CBR, or a block of RNG
+        # draws for Poisson; _batch_rate detects mid-run rate changes.
+        self._batch: Optional[List[int]] = None
+        self._batch_pos = 0
+        self._batch_rate = -1.0
+        self._batch_carry0 = 0.0   # CBR carry at the batch's first tick
+        self._batch_state = None   # Poisson: RNG state before the draw
 
     def active(self, now_ns: int) -> bool:
         if now_ns < self.start_ns:
@@ -41,6 +49,9 @@ class FlowSpec:
         if self.stop_ns is not None and now_ns >= self.stop_ns:
             return False
         return True
+
+    #: Ticks of arrivals precomputed per batch refill.
+    _BATCH_TICKS = 256
 
     def packets_this_tick(self, dt_ns: int, rng=None) -> int:
         """Packets to emit for a tick of ``dt_ns`` (CBR keeps a fractional
@@ -54,6 +65,86 @@ class FlowSpec:
         n = int(self._carry)
         self._carry -= n
         return n
+
+    def next_count(self, dt_ns: int, rng=None, rng_batch: bool = False) -> int:
+        """Batched equivalent of :meth:`packets_this_tick`.
+
+        Serves per-tick arrival counts from a precomputed block, refilling
+        ``_BATCH_TICKS`` at a time.  The emitted count sequence is
+        bit-identical to calling :meth:`packets_this_tick` every tick:
+
+        * CBR counts come from the exact iterative carry recurrence (the
+          float additions happen in the same order, just ahead of time);
+          a mid-run ``rate_pps`` change replays the recurrence up to the
+          consumed position to recover the true carry before rebatching.
+        * Poisson counts are one vectorized ``rng.poisson(lam, size=B)``
+          call — numpy consumes the bit stream per-value, so the draws
+          match ``B`` scalar calls.  Only enabled when the caller
+          guarantees this spec is the *only* consumer of ``rng``
+          (``rng_batch=True``); a rate change rewinds the generator to the
+          batch start and re-draws exactly the consumed prefix so the
+          stream position stays where scalar draws would have left it.
+        """
+        batch = self._batch
+        pos = self._batch_pos
+        if (
+            batch is None
+            or pos >= len(batch)
+            or self.rate_pps != self._batch_rate
+        ):
+            return self._refill(dt_ns, rng, rng_batch)
+        self._batch_pos = pos + 1
+        return batch[pos]
+
+    def _refill(self, dt_ns: int, rng, rng_batch: bool) -> int:
+        pos = self._batch_pos
+        stale = self._batch is not None and pos < len(self._batch)
+        if self.pattern == "cbr":
+            if stale:
+                # Rate changed mid-batch: recover the carry at `pos` by
+                # replaying the old recurrence (exact — same float ops).
+                c = self._batch_carry0
+                e = self._batch_rate * dt_ns / 1e9
+                for _ in range(pos):
+                    c += e
+                    c -= int(c)
+                self._carry = c
+            expected = self.rate_pps * dt_ns / 1e9
+            c = self._carry
+            self._batch_carry0 = c
+            counts = []
+            append = counts.append
+            for _ in range(self._BATCH_TICKS):
+                c += expected
+                n = int(c)
+                c -= n
+                append(n)
+            self._carry = c
+        else:
+            if rng is None:
+                raise ValueError("poisson arrivals need an RNG")
+            if not rng_batch:
+                # Shared RNG: batching would interleave the stream
+                # differently than scalar draws; stay scalar.
+                self._batch = None
+                self._batch_rate = self.rate_pps
+                return int(rng.poisson(self.rate_pps * dt_ns / 1e9))
+            if stale:
+                # Rewind to the batch start and burn exactly the draws a
+                # scalar caller would have made, so the stream position
+                # (and every future draw) matches the unbatched run.
+                rng.bit_generator.state = self._batch_state
+                old_lam = self._batch_rate * dt_ns / 1e9
+                if pos:
+                    rng.poisson(old_lam, size=pos)
+            self._batch_state = rng.bit_generator.state
+            lam = self.rate_pps * dt_ns / 1e9
+            counts = [int(v) for v in
+                      rng.poisson(lam, size=self._BATCH_TICKS)]
+        self._batch = counts
+        self._batch_rate = self.rate_pps
+        self._batch_pos = 1
+        return counts[0]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -16,8 +16,7 @@ from repro.platform.nic import NIC, line_rate_pps
 from repro.platform.packet import Flow
 from repro.traffic.flows import FlowSpec
 from repro.sim.clock import USEC
-from repro.sim.engine import EventLoop
-from repro.sim.process import PeriodicProcess
+from repro.sim.engine import EventHandle, EventLoop
 
 
 class TrafficGenerator:
@@ -36,10 +35,14 @@ class TrafficGenerator:
         self.rng = rng
         self.specs: List[FlowSpec] = []
         self.offered_total = 0
-        self._proc = PeriodicProcess(loop, self.tick_ns, self.tick, "traffic-gen")
+        self._tick_handle: Optional[EventHandle] = None
+        self._rng_batch = True  # single Poisson consumer of self.rng?
 
     def add(self, spec: FlowSpec) -> FlowSpec:
         self.specs.append(spec)
+        self._rng_batch = (
+            sum(1 for s in self.specs if s.pattern == "poisson") <= 1
+        )
         return spec
 
     def add_flow(self, flow: Flow, rate_pps: float, **kwargs) -> FlowSpec:
@@ -55,20 +58,36 @@ class TrafficGenerator:
         return [self.add_flow(flow, per_flow, **kwargs) for flow in flows]
 
     def start(self) -> None:
-        self._proc.start()
+        if self._tick_handle is None:
+            self._tick_handle = self.loop.call_every(self.tick_ns, self.tick)
 
     def stop(self) -> None:
-        self._proc.stop()
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+            self._tick_handle = None
 
     # ------------------------------------------------------------------
     def tick(self) -> None:
         now = self.loop.now
+        tick_ns = self.tick_ns
+        rng = self.rng
+        # Poisson batching is only stream-exact when a single spec owns the
+        # RNG (maintained by add()).
+        rng_batch = self._rng_batch
+        receive = self.nic.receive
+        offered = 0
         for spec in self.specs:
-            if not spec.active(now):
+            # spec.active(now) inlined — this loop runs every 100 µs for
+            # every flow of the run.
+            if now < spec.start_ns:
                 continue
-            n = spec.packets_this_tick(self.tick_ns, self.rng)
+            stop = spec.stop_ns
+            if stop is not None and now >= stop:
+                continue
+            n = spec.next_count(tick_ns, rng, rng_batch)
             if n <= 0:
                 continue
             spec.flow.stats.offered += n
-            self.offered_total += n
-            self.nic.receive(spec.flow, n, now)
+            offered += n
+            receive(spec.flow, n, now)
+        self.offered_total += offered
