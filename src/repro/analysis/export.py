@@ -14,6 +14,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Union
 
+from repro.check.sanitizer import SanitizerViolation
 from repro.experiments.common import ChainSummary, NFSummary, ScenarioResult
 from repro.metrics.timeseries import TimeSeries
 
@@ -36,6 +37,10 @@ def result_to_dict(result: ScenarioResult,
         "core_utilization": {str(k): v
                              for k, v in result.core_utilization.items()},
         "resilience": result.resilience,
+        # Always present (empty on clean or unsanitized runs) so that a
+        # sanitize-clean run digests identically to a normal run.
+        "sanitizer_violations": [v.to_dict()
+                                 for v in result.sanitizer_violations],
     }
     if include_series:
         out["series"] = {
@@ -99,6 +104,10 @@ def result_from_dict(data: Dict[str, Any]) -> ScenarioResult:
         series=series,
         sched_trace_dropped=int(data.get("sched_trace_dropped", 0)),
         resilience=data.get("resilience", {}),
+        sanitizer_violations=[
+            SanitizerViolation.from_dict(v)
+            for v in data.get("sanitizer_violations", [])
+        ],
     )
 
 

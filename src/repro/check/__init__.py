@@ -1,0 +1,38 @@
+"""Determinism and precision tooling for the reproduction.
+
+Two halves:
+
+* :mod:`repro.check.simcheck` — a static AST lint pass (``repro check``)
+  that bans the nondeterminism and float-precision bug classes this
+  codebase has actually hit (wall-clock reads, global-RNG use, set
+  iteration order leaking into event order, float contamination of
+  integer-nanosecond counters, RNG construction outside the seeded
+  factory).
+* :mod:`repro.check.sanitizer` — a runtime invariant sanitizer
+  (``repro run --sanitize``) that checks conservation laws at the end of
+  (and optionally during) a run: packet conservation, exact per-core
+  time accounting, CFS vruntime monotonicity, ring occupancy bounds and
+  non-negative counters.
+
+See ``docs/static-analysis.md`` for the rule catalog and policy.
+"""
+
+from repro.check.simcheck import Finding, check_paths, iter_rules
+from repro.check.sanitizer import (
+    SanitizerViolation,
+    Sanitizer,
+    activate_sanitizer,
+    current_sanitizer,
+    deactivate_sanitizer,
+)
+
+__all__ = [
+    "Finding",
+    "check_paths",
+    "iter_rules",
+    "SanitizerViolation",
+    "Sanitizer",
+    "activate_sanitizer",
+    "current_sanitizer",
+    "deactivate_sanitizer",
+]

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.metrics.report import render_table
 
@@ -105,6 +105,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             span_sample_rate=args.span_sample_rate,
         )
         activate_session(session)
+    sanitizer = None
+    if args.sanitize:
+        from repro.check.sanitizer import Sanitizer, activate_sanitizer
+
+        sanitizer = Sanitizer(per_tick=args.sanitize_tick)
+        activate_sanitizer(sanitizer)
     plan_active = False
     if args.fault_plan is not None:
         from repro.faults.plan import FaultPlan, activate_plan
@@ -132,6 +138,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             print(module.main(**kwargs))
     finally:
+        if sanitizer is not None:
+            from repro.check.sanitizer import deactivate_sanitizer
+
+            deactivate_sanitizer()
         if plan_active:
             from repro.faults.plan import deactivate_plan
 
@@ -141,6 +151,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             summary = session.finalize()
             if summary:
                 print(summary)
+    if sanitizer is not None:
+        for violation in sanitizer.violations:
+            print(violation.render(), file=sys.stderr)
+        print(f"[sanitize] {sanitizer.runs} run(s), "
+              f"{len(sanitizer.violations)} violation(s)")
+        if sanitizer.violations:
+            return 1
     if profiler is not None:
         import io as _io
         import os
@@ -267,6 +284,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return rc
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.simcheck import main as simcheck_main
+
+    return simcheck_main(args.paths or ["src"], as_json=args.json)
+
+
 def _cmd_topology(args: argparse.Namespace) -> int:
     from repro.platform.orchestrator import load_topology
 
@@ -335,6 +358,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="inject faults from a JSON/YAML FaultPlan into "
                           "every scenario the experiment builds (see "
                           "docs/faults.md)")
+    run.add_argument("--sanitize", action="store_true",
+                     help="check runtime invariants (packet conservation, "
+                          "exact core time accounting, vruntime "
+                          "monotonicity, ring bounds); exit 1 on any "
+                          "violation (see docs/static-analysis.md)")
+    run.add_argument("--sanitize-tick", action="store_true",
+                     help="with --sanitize: also sample the monotonicity/"
+                          "occupancy checks every 1 ms of simulated time")
     run.add_argument("--profile", action="store_true",
                      help="run under cProfile; writes a .pstats dump next "
                           "to the --metrics-out/--trace file (or "
@@ -379,6 +410,16 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress per-task progress on stderr")
     campaign.set_defaults(func=_cmd_campaign)
+
+    check = sub.add_parser(
+        "check",
+        help="lint for determinism/precision hazards (simcheck; see "
+             "docs/static-analysis.md)")
+    check.add_argument("paths", nargs="*", metavar="PATH",
+                       help="files or directories to lint (default: src)")
+    check.add_argument("--json", action="store_true",
+                       help="machine-readable JSON report")
+    check.set_defaults(func=_cmd_check)
 
     topo = sub.add_parser("topology", help="run a declarative JSON topology")
     topo.add_argument("path", help="path to the topology JSON file")

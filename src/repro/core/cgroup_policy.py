@@ -18,7 +18,7 @@ values readable and inside kernel bounds.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 #: cpu.shares assigned to the average NF on a core.
 BASE_SHARES = 1024

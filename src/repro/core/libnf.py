@@ -18,7 +18,7 @@ from typing import Callable, Optional
 
 from repro.core.io import DiskDevice
 from repro.core.nf import NFProcess
-from repro.platform.packet import Flow, PacketSegment
+from repro.platform.packet import Flow
 
 
 class LibnfAPI:

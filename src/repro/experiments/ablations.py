@@ -17,7 +17,7 @@ figures; motivated by DESIGN.md §5 and the paper's discussion).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.experiments.common import Scenario, ScenarioResult, build_linear_chain
 from repro.experiments.fig09_shared_chains import NF_COSTS

@@ -144,6 +144,11 @@ class ScenarioResult:
     #: serialised by :func:`repro.analysis.export.result_to_dict`, so it
     #: never enters a digest.
     loop_stats: Dict[str, int] = field(default_factory=dict)
+    #: Invariant violations found by the runtime sanitizer (empty unless
+    #: the run was sanitized — and empty on a clean sanitized run, so the
+    #: digest matches an unsanitized run).  Each entry is a
+    #: :class:`repro.check.sanitizer.SanitizerViolation`.
+    sanitizer_violations: List[Any] = field(default_factory=list)
 
     def nf(self, name: str) -> NFSummary:
         return self.nfs[name]
@@ -236,12 +241,16 @@ class Scenario:
         """Run for ``duration_s`` simulated seconds and summarise."""
         from repro.obs.session import current_session
 
+        from repro.check.sanitizer import current_sanitizer
         from repro.faults.plan import current_plan
 
         mgr = self.manager
         session = current_session()
         if session is not None and not mgr._started:
             session.attach(self)
+        sanitizer = current_sanitizer()
+        if sanitizer is not None and not mgr._started:
+            sanitizer.attach(self)
         fault_plan = current_plan()
         if fault_plan is not None and mgr.faults is None and not mgr._started:
             self.attach_faults(fault_plan)
@@ -260,7 +269,10 @@ class Scenario:
         horizon = int(duration_s * SEC)
         self.loop.run_until(self.loop.now + horizon)
         mgr.finalize()
-        return self._summarise(duration_s, sampler)
+        result = self._summarise(duration_s, sampler)
+        if sanitizer is not None:
+            result.sanitizer_violations = sanitizer.finish_run(self)
+        return result
 
     def _summarise(self, duration_s: float,
                    sampler: IntervalSampler) -> ScenarioResult:

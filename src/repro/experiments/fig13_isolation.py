@@ -15,7 +15,7 @@ keeps most of its throughput, and UDP still holds NF3's bottleneck rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.experiments.common import Scenario
 from repro.metrics.report import render_table

@@ -9,7 +9,7 @@ degrade throughput.  The sweep uses the Figure 7 Low-Med-High chain.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.experiments.common import Scenario, ScenarioResult, build_linear_chain
 from repro.metrics.report import render_table

@@ -21,7 +21,7 @@ from ``(plan, seed)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.faults.metrics import availability, latency_stats

@@ -8,7 +8,7 @@ snapshots a set of counters every interval and converts deltas to rates.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.sim.clock import SEC
 from repro.sim.engine import EventLoop

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.core.nf import NFProcess
-from repro.nfs.cost_models import CostModel, ExponentialCost, FixedCost
+from repro.nfs.cost_models import ExponentialCost, FixedCost
 from repro.platform.config import PlatformConfig
 from repro.platform.packet import Flow
 

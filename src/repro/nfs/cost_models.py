@@ -17,6 +17,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.sim.rng import fallback_generator
+
 #: Draws appended to the prefix-sum buffer at a time.  This quantum is
 #: load-bearing for reproducibility: the float grouping of the running
 #: cumulative sum depends on where the ``np.cumsum`` chunks break, so
@@ -84,7 +86,7 @@ class BufferedCost(CostModel):
     """Base for stochastic models: pre-draws costs into a prefix-sum buffer."""
 
     def __init__(self, rng: Optional[np.random.Generator] = None):
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng if rng is not None else fallback_generator()
         self._cum = np.zeros(1)  # _cum[i] = total cost of first i buffered pkts
         self._pos = 0            # packets already consumed from the buffer
         self._raw = np.zeros(0)  # draw-ahead pool of un-summed RNG values

@@ -15,7 +15,7 @@ it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.metrics.counters import Counter
 from repro.metrics.histogram import CycleHistogram

@@ -8,7 +8,7 @@ monitoring, 10 ms cgroup weight updates, batches of 32 packets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.clock import CPU_FREQ_HZ, MSEC, USEC
 
@@ -44,7 +44,7 @@ class PlatformConfig:
     #: added on top of each NF's own packet-handler cost.
     nf_overhead_cycles: float = 100.0
     cpu_freq_hz: float = CPU_FREQ_HZ
-    ctx_switch_ns: float = 1_500.0  # direct + cache cost per task switch
+    ctx_switch_ns: int = 1_500     # direct + cache cost per task switch
 
     # --- NUMA (§1: schedulers "have to be cognizant of NUMA concerns") ---
     #: Worker cores per socket; the testbed is a dual-socket 56-core box.

@@ -98,7 +98,7 @@ class NFManager:
                 self._make_scheduler(),
                 core_id=core_id,
                 ctx_switch_ns=self.config.ctx_switch_ns,
-                max_segment_ns=float(self.config.tx_poll_ns),
+                max_segment_ns=self.config.tx_poll_ns,
                 socket=core_id // max(1, self.config.cores_per_socket),
             )
             if self.bus is not None:

@@ -8,7 +8,6 @@ frame itself (preamble, SFD, inter-frame gap), so 64-byte packets at
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.platform.packet import Flow, PacketSegment
 from repro.platform.ring import PacketRing

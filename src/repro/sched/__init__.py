@@ -40,7 +40,7 @@ __all__ = [
 ]
 
 
-def make_scheduler(name: str):
+def make_scheduler(name: str) -> Scheduler:
     """Factory for the scheduler configurations used across the evaluation.
 
     Accepted names: ``NORMAL``, ``BATCH``, ``RR`` / ``RR_1MS``, ``RR_100MS``

@@ -91,7 +91,7 @@ class CFSScheduler(Scheduler):
         period = max(self.sched_latency_ns, nr_running * self.min_granularity_ns)
         total_weight = self._ready_weight + task.weight
         slice_ns = period * task.weight / total_weight
-        return max(slice_ns, float(self.min_granularity_ns))
+        return max(slice_ns, self.min_granularity_ns)
 
     def charge(self, task: CoreTask, delta_ns: float) -> None:
         task.vruntime += delta_ns * NICE_0_WEIGHT / task.weight

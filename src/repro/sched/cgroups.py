@@ -29,10 +29,10 @@ MAX_SHARES = 262_144
 class CgroupController:
     """Applies cpu.shares to tasks and accounts the sysfs writes."""
 
-    def __init__(self, sysfs_write_ns: float = SYSFS_WRITE_NS):
-        self.sysfs_write_ns = float(sysfs_write_ns)
+    def __init__(self, sysfs_write_ns: int = SYSFS_WRITE_NS):
+        self.sysfs_write_ns = int(sysfs_write_ns)
         self.writes = 0
-        self.write_time_ns = 0.0
+        self.write_time_ns = 0
         self._shares: Dict[str, int] = {}
 
     def set_shares(self, task: CoreTask, shares: float) -> int:

@@ -22,12 +22,27 @@ others wait, or is preempted by a wakeup, takes a *non-voluntary* switch.
 Each actual task-to-task switch also burns a configurable overhead
 (direct cost plus cache disturbance) during which no task work happens —
 the overhead CFS NORMAL pays 65 000 times a second in Table 2.
+
+Wall-time accounting is **exact in integer nanoseconds**: every instant
+of a core's life belongs to exactly one of ``busy_ns`` / ``overhead_ns``
+/ ``idle_ns``, partitioned at event boundaries (which are integers by
+construction — ``EventLoop.call_at`` rounds up).  The invariant
+``busy_ns + overhead_ns + idle_ns == now - epoch`` holds exactly and is
+enforced by the runtime sanitizer (:mod:`repro.check.sanitizer`).  A
+*spurious wake* — a dispatch of a task whose ``estimate_run_ns`` is 0,
+so it blocks again without consuming any simulated time — charges
+nothing: no wall time elapsed, so neither overhead nor busy time may
+accrue (and the previously running task stays "last on CPU", so no
+switch cost is imputed to a switch that never progressed).  Task-level
+``runtime_ns`` remains fractional: per-packet cycle costs convert to
+non-integer nanoseconds and feed vruntime, where exactness in the cycle
+domain matters more than alignment to event boundaries.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Any, List, Optional
 
 from repro.sched.base import (
     CoreTask,
@@ -39,16 +54,16 @@ from repro.sim.engine import EventHandle, EventLoop
 
 #: Below this many nanoseconds of remaining slice we treat the budget as
 #: exhausted instead of scheduling sub-nanosecond segments.
-_MIN_BUDGET_NS = 1.0
+_MIN_BUDGET_NS = 1
 
 
 @dataclass
 class CoreStats:
-    """Aggregate core-level accounting."""
+    """Aggregate core-level accounting (exact integer nanoseconds)."""
 
-    busy_ns: float = 0.0
-    idle_ns: float = 0.0
-    overhead_ns: float = 0.0
+    busy_ns: int = 0
+    idle_ns: int = 0
+    overhead_ns: int = 0
     dispatches: int = 0
 
     def utilization(self, horizon_ns: float) -> float:
@@ -75,12 +90,18 @@ class Core:
         self.core_id = core_id
         #: NUMA socket this core belongs to.
         self.socket = int(socket)
-        self.ctx_switch_ns = float(ctx_switch_ns)
+        #: Context-switch cost in whole nanoseconds: overhead delays the
+        #: first run segment, so it must land on an event-time boundary.
+        self.ctx_switch_ns = int(ctx_switch_ns)
         #: Upper bound on one uninterrupted run segment.  The platform sets
         #: this to the Tx thread poll period so an NF's output is produced
         #: in sub-ring-size chunks interleaved with the manager's ferrying,
         #: as on real hardware, instead of one burst at segment end.
-        self.max_segment_ns = float(max_segment_ns)
+        #: ``inf`` (the default) means unbounded.
+        self.max_segment_ns = (
+            max_segment_ns if max_segment_ns == float("inf")
+            else int(max_segment_ns)
+        )
         self.tasks: List[CoreTask] = []
         self.stats = CoreStats()
         #: Optional :class:`repro.obs.bus.EventBus` all scheduler events are
@@ -95,17 +116,23 @@ class Core:
 
         self.current: Optional[CoreTask] = None
         self._last_task: Optional[CoreTask] = None
-        self._segment_start: float = 0.0
+        self._segment_start: int = 0
         self._segment_plan: float = 0.0
         self._budget_left: float = 0.0
         self._charged_this_run: float = 0.0
         self._run_end: Optional[EventHandle] = None
-        self._idle_since: Optional[int] = 0  # core starts idle at t=0
+        #: When the current dispatch started (wall partition anchor) and
+        #: how much of it is context-switch overhead still unaccounted.
+        self._dispatch_start: int = 0
+        self._overhead_pending: int = 0
+        #: First instant this core existed — accounting covers [epoch, now].
+        self.epoch_ns: int = loop.now
+        self._idle_since: Optional[int] = loop.now  # a core starts idle
 
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-    def attach_bus(self, bus) -> None:
+    def attach_bus(self, bus: Any) -> None:
         """Use ``bus`` for scheduler events (platform-wide attachment).
 
         Subscribers of a previously attached (or tracer-private) bus are
@@ -118,14 +145,14 @@ class Core:
         self.bus = bus
 
     @property
-    def tracer(self):
+    def tracer(self) -> Any:
         """Back-compat: a :class:`~repro.sched.tracing.SchedTracer` fed from
         the event bus.  Assigning a tracer subscribes it; the old
         ``core.tracer = SchedTracer()`` idiom keeps working unchanged."""
         return self._tracer
 
     @tracer.setter
-    def tracer(self, tracer) -> None:
+    def tracer(self, tracer: Any) -> None:
         self._tracer = tracer
         if tracer is None:
             return
@@ -136,7 +163,8 @@ class Core:
             self.bus = EventBus(self.loop, record=False)
         core_id = self.core_id
 
-        def forward(ev, tracer=tracer, core_id=core_id):
+        def forward(ev: Any, tracer: Any = tracer,
+                    core_id: int = core_id) -> None:
             if ev.args.get("core") != core_id:
                 return
             kind = ev.kind
@@ -208,6 +236,7 @@ class Core:
             if self._run_end is not None:
                 self._run_end.cancel()
                 self._run_end = None
+            self._close_run_span(self.loop.now)
             self.current = None
             task.state = TaskState.BLOCKED
             task.stats.involuntary_switches += 1
@@ -288,25 +317,40 @@ class Core:
         if self.bus is not None and self.bus.active:
             self.bus.publish("sched.dispatch", task.name, core=self.core_id)
 
-        overhead = 0.0
-        if self._last_task is not None and self._last_task is not task:
-            overhead = self.ctx_switch_ns
-            self.stats.overhead_ns += overhead
-        self._last_task = task
         self.current = task
         self._charged_this_run = 0.0
         self._budget_left = self.scheduler.time_slice(task, now)
         self.stats.dispatches += 1
-        self._begin_segment(now + overhead)
+        self._dispatch_start = now
 
-    def _begin_segment(self, start_ns: float) -> None:
-        task = self.current
-        assert task is not None
-        estimate = task.estimate_run_ns(self.loop.now)
+        estimate = task.estimate_run_ns(now)
         if estimate <= 0:
-            # Spurious wake: nothing to do, block again immediately.
+            # Spurious wake: the task blocks again without performing any
+            # work and without consuming any simulated time, so no
+            # context-switch overhead may be charged (charging it with
+            # zero elapsed wall time would overshoot the horizon) and the
+            # previous task remains "last on CPU".
+            self._overhead_pending = 0
             self._switch_out(ExecOutcome.RAN_OUT)
             return
+
+        overhead = 0
+        if self._last_task is not None and self._last_task is not task:
+            overhead = self.ctx_switch_ns
+        self._last_task = task
+        self._overhead_pending = overhead
+        self._begin_segment(now + overhead, estimate)
+
+    def _begin_segment(self, start_ns: int, estimate: Optional[float] = None) -> None:
+        task = self.current
+        assert task is not None
+        if estimate is None:
+            estimate = task.estimate_run_ns(self.loop.now)
+            if estimate <= 0:
+                # Went out of work mid-dispatch (e.g. output space vanished
+                # between segments): block again.
+                self._switch_out(ExecOutcome.RAN_OUT)
+                return
         plan = min(estimate, self._budget_left, self.max_segment_ns)
         self._segment_start = start_ns
         self._segment_plan = plan
@@ -340,6 +384,7 @@ class Core:
         task = self.current
         assert task is not None
         now = self.loop.now
+        self._close_run_span(now)
         self.current = None
         if self.bus is not None and self.bus.active:
             self.bus.publish("sched.switch_out", task.name,
@@ -357,11 +402,31 @@ class Core:
     # ------------------------------------------------------------------
     # Accounting helpers
     # ------------------------------------------------------------------
+    def _close_run_span(self, now: int) -> None:
+        """Account the wall-time span of the current dispatch.
+
+        The span ``[_dispatch_start, now]`` is split exactly between
+        ``overhead_ns`` (up to the pending context-switch cost — clamped,
+        so a preemption *during* the switch window never over-charges) and
+        ``busy_ns`` (the rest).  Idempotent: the anchor advances to ``now``
+        so closing twice charges nothing extra.
+        """
+        span = now - self._dispatch_start
+        if span <= 0:
+            return
+        oh = span if span < self._overhead_pending else self._overhead_pending
+        self.stats.overhead_ns += oh
+        self.stats.busy_ns += span - oh
+        self._overhead_pending -= oh
+        self._dispatch_start = now
+
     def _charge(self, task: CoreTask, used_ns: float) -> None:
+        # Core-level busy_ns is charged by _close_run_span from integer
+        # event-time spans; here only the task-level (fractional) runtime
+        # and the policy's vruntime accounting accrue.
         if used_ns <= 0:
             return
         task.stats.runtime_ns += used_ns
-        self.stats.busy_ns += used_ns
         self.scheduler.charge(task, used_ns)
         self._charged_this_run += used_ns
 
@@ -372,7 +437,15 @@ class Core:
         return self._charged_this_run + segment_elapsed
 
     def finalize(self) -> None:
-        """Close idle accounting at the end of a run (call once at horizon)."""
+        """Close the accounting partition at the end of a run (horizon).
+
+        Any in-flight run segment's wall time up to *now* is charged
+        (its end event lies beyond the horizon and never fires); any open
+        idle stretch is closed.  After this,
+        ``busy_ns + overhead_ns + idle_ns == now - epoch_ns`` exactly.
+        """
+        if self.current is not None:
+            self._close_run_span(self.loop.now)
         if self._idle_since is not None:
             self.stats.idle_ns += self.loop.now - self._idle_since
             self._idle_since = self.loop.now

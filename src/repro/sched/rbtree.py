@@ -9,7 +9,7 @@ monotonically increasing sequence number so insertion order is stable.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Iterator, Optional, Tuple
 
 RED = True
 BLACK = False
@@ -100,7 +100,7 @@ class RBTree:
         self.remove(node)
         return node.value
 
-    def items(self):
+    def items(self) -> Iterator[Tuple[Any, Any]]:
         """In-order (key, value) iterator — used by tests and invariants."""
         stack = []
         cur = self.root

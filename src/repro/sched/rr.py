@@ -53,7 +53,7 @@ class RRScheduler(Scheduler):
         return task
 
     def time_slice(self, task: CoreTask, now_ns: int) -> float:
-        return float(self.quantum_ns)
+        return self.quantum_ns
 
     def charge(self, task: CoreTask, delta_ns: float) -> None:
         # RR keeps no virtual-time accounting.

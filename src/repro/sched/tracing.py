@@ -137,7 +137,7 @@ class SchedTracer:
         for task in sorted(per_task):
             cells = []
             for filled in per_task[task]:
-                if filled >= bucket_ns * 0.5:
+                if 2 * filled >= bucket_ns:
                     cells.append("#")
                 elif filled > 0:
                     cells.append("+")

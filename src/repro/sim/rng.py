@@ -31,3 +31,15 @@ class RngFactory:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngFactory(seed={self.seed})"
+
+
+def fallback_generator() -> np.random.Generator:
+    """A fixed-seed generator for components constructed without a stream.
+
+    Deterministic (seed 0) but *shared-less*: every call returns an
+    independent generator, so a component that forgot to thread an
+    :class:`RngFactory` stream still reproduces bit-for-bit.  This is the
+    only sanctioned generator constructor outside :class:`RngFactory`
+    (enforced by simcheck rule SIM401).
+    """
+    return np.random.default_rng(0)

@@ -1,0 +1,27 @@
+"""SIM101 fixture: every statement below reads host wall-clock/entropy."""
+
+import datetime
+import os
+import time
+import uuid
+from time import monotonic
+
+
+def stamp() -> float:
+    return time.time()                   # SIM101
+
+
+def stamp_mono() -> float:
+    return monotonic()                   # SIM101 (from-import alias)
+
+
+def today():
+    return datetime.datetime.now()       # SIM101
+
+
+def nonce() -> bytes:
+    return os.urandom(16)                # SIM101
+
+
+def run_id():
+    return uuid.uuid4()                  # SIM101

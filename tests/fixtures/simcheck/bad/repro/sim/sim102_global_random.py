@@ -1,0 +1,22 @@
+"""SIM102 fixture: draws from the process-global RNG state."""
+
+import random
+
+import numpy as np
+from random import randint
+
+
+def jitter() -> float:
+    return random.random()               # SIM102
+
+
+def pick(items):
+    return random.choice(items)          # SIM102
+
+
+def roll() -> int:
+    return randint(1, 6)                 # SIM102 (from-import alias)
+
+
+def noise():
+    return np.random.rand(4)             # SIM102

@@ -1,0 +1,14 @@
+"""SIM103 fixture: memory addresses used as ordering keys."""
+
+
+def order(tasks):
+    return sorted(tasks, key=id)                     # SIM103
+
+
+def order_lambda(tasks):
+    tasks.sort(key=lambda t: (t.prio, id(t)))        # SIM103
+    return tasks
+
+
+def first(tasks):
+    return min(tasks, key=lambda t: id(t))           # SIM103

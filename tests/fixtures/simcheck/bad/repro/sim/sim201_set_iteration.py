@@ -1,0 +1,11 @@
+"""SIM201 fixture: iteration order taken from unordered sets."""
+
+
+def walk(a, b):
+    for name in {"nf0", "nf1", "nf2"}:               # SIM201 (set literal)
+        print(name)
+    for item in set(a):                              # SIM201 (set() call)
+        print(item)
+    for item in a.intersection(b):                   # SIM201 (set method)
+        print(item)
+    return [x for x in {n for n in a}]               # SIM201 (set comp)

@@ -1,0 +1,23 @@
+"""SIM301 fixture: implicit float contamination of *_ns state."""
+
+
+class Clock:
+    def __init__(self):
+        self.busy_ns = 0.0                           # SIM301 (float literal)
+        self.idle_ns: int = 0.0                      # SIM301 (int ann, float)
+
+    def advance(self, span_ns: int) -> None:
+        self.busy_ns += 0.5                          # SIM301 (augassign)
+
+    def slack(self, deadline_ns: int) -> int:
+        return deadline_ns - 1.5                     # SIM301 (binop)
+
+    def late(self, delay_ns: int) -> bool:
+        return delay_ns > 0.0                        # SIM301 (compare)
+
+    def as_float(self, runtime_ns: int) -> float:
+        return float(runtime_ns)                     # SIM301 (float() cast)
+
+
+def wait(timeout_ns=1.5):                            # SIM301 (float default)
+    return timeout_ns

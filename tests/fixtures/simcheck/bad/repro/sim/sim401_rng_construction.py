@@ -1,0 +1,18 @@
+"""SIM401 fixture: RNG constructed outside repro/sim/rng.py."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def local_stream():
+    return np.random.default_rng(7)      # SIM401
+
+
+def legacy_stream():
+    return random.Random(3)              # SIM401
+
+
+def aliased_stream():
+    return default_rng(11)               # SIM401 (from-import alias)

@@ -1,0 +1,11 @@
+"""Suppression fixture: one SIM101 silenced, one left to fire."""
+
+import time
+
+
+def timed() -> float:
+    return time.time()  # simcheck: ignore[SIM101]
+
+
+def untimed() -> float:
+    return time.time()                   # SIM101 (not suppressed)

@@ -1,0 +1,8 @@
+"""Clean fixture: wall-clock reads are legal under repro/runner/."""
+
+import time
+
+
+def worker_elapsed() -> float:
+    start = time.perf_counter()          # allowlisted path: no SIM101
+    return time.time() - start           # allowlisted path: no SIM101

@@ -1,0 +1,33 @@
+"""Clean fixture: near-misses for every rule; simcheck must stay silent."""
+
+from typing import Optional
+
+
+class Clock:
+    def __init__(self, factory):
+        self.busy_ns = 0                         # int literal: fine
+        self.runtime_ns: float = 0.0             # explicit float opt-in: fine
+        self.rng = factory.stream("clock")       # factory stream, not a ctor
+
+    def advance(self, span_ns: int) -> None:
+        self.busy_ns += span_ns                  # int arithmetic: fine
+
+    def utilisation(self, total_ns: int) -> float:
+        return self.busy_ns / total_ns           # Div is exempt (ratio)
+
+    def seconds(self, total_ns: int) -> float:
+        return total_ns / 1e9                    # Div by float: unit convert
+
+
+def ordered(names):
+    for name in sorted({"nf0", "nf1"}):          # sorted() wraps the set
+        yield name
+    return sorted(names, key=lambda n: n.lower())  # stable key, no id()
+
+
+def wait(timeout_ns: float = 1.5) -> float:      # float default, annotated
+    return timeout_ns
+
+
+def pick(deadline_ns: Optional[int] = None) -> Optional[int]:
+    return deadline_ns

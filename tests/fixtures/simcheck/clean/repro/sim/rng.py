@@ -1,0 +1,7 @@
+"""Clean fixture: RNG construction is legal inside repro/sim/rng.py."""
+
+import numpy as np
+
+
+def make_stream(seed: int):
+    return np.random.default_rng(seed)   # sanctioned module: no SIM401

@@ -124,3 +124,27 @@ def test_determinism_any_topology(spec, duration):
     assert r1.total_wasted_pps == r2.total_wasted_pps
     for name in r1.nfs:
         assert r1.nf(name).processed == r2.nf(name).processed
+
+
+def test_accounting_identity_exact_on_spurious_wake_case():
+    """Regression: the exact per-core accounting partition on the case
+    that used to overshoot the horizon (a spurious wake — dispatch of a
+    task whose estimate_run_ns is 0 — charged ctx_switch_ns with zero
+    elapsed wall time).  busy + overhead + idle must equal the core's
+    lifetime *exactly*, in integer nanoseconds."""
+    spec = {
+        "scheduler": "NORMAL",
+        "features": "Default",
+        "nfs": [(f"nf{i}", 120, 0) for i in range(4)],
+        "chains": [["nf0"], ["nf1", "nf2"]],
+        "flows": [("flow0", "chain0", 263084.0), ("flow1", "chain1", 10000.0)],
+        "seed": 0,
+    }
+    scenario, _flows, _result = build_and_run(spec)
+    for core in scenario.manager.cores.values():
+        s = core.stats
+        assert isinstance(s.busy_ns, int)
+        assert isinstance(s.overhead_ns, int)
+        assert isinstance(s.idle_ns, int)
+        lifetime = scenario.manager.loop.now - core.epoch_ns
+        assert s.busy_ns + s.overhead_ns + s.idle_ns == lifetime

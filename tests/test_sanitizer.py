@@ -1,0 +1,171 @@
+"""Runtime invariant sanitizer: clean runs, injected corruption, digests.
+
+A clean run under ``--sanitize`` must report nothing and digest
+identically to an unsanitized run.  Each injection test corrupts one
+counter after a plain run and asserts the matching check fires — proving
+the sanitizer would have caught that violation class for real.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.export import result_from_dict, result_to_dict
+from repro.check.sanitizer import (
+    Sanitizer,
+    SanitizerViolation,
+    activate_sanitizer,
+    current_sanitizer,
+    deactivate_sanitizer,
+)
+from repro.experiments.common import Scenario
+
+
+def small_run(scheduler="NORMAL", seed=1, duration_s=0.02):
+    scenario = Scenario(scheduler=scheduler, features="Default", seed=seed)
+    scenario.add_nf("nf0", 120, core=0)
+    scenario.add_nf("nf1", 270, core=0)
+    scenario.add_chain("chain0", ["nf0", "nf1"])
+    scenario.add_flow("flow0", "chain0", rate_pps=50_000.0)
+    result = scenario.run(duration_s)
+    return scenario, result
+
+
+def checks_of(violations):
+    return {v.check for v in violations}
+
+
+# ----------------------------------------------------------------------
+# Clean runs
+# ----------------------------------------------------------------------
+def test_clean_run_reports_zero_violations():
+    sanitizer = Sanitizer(per_tick=True)
+    activate_sanitizer(sanitizer)
+    try:
+        _scenario, result = small_run()
+    finally:
+        deactivate_sanitizer()
+    assert result.sanitizer_violations == []
+    assert sanitizer.violations == []
+    assert sanitizer.runs == 1
+    assert current_sanitizer() is None
+
+
+def test_clean_run_all_schedulers():
+    for scheduler in ("NORMAL", "BATCH", "RR_1MS", "COOP"):
+        sanitizer = Sanitizer()
+        activate_sanitizer(sanitizer)
+        try:
+            _scenario, result = small_run(scheduler=scheduler)
+        finally:
+            deactivate_sanitizer()
+        assert result.sanitizer_violations == [], scheduler
+
+
+def test_sanitized_run_digests_identically_to_plain_run():
+    _s1, plain = small_run()
+    activate_sanitizer(Sanitizer(per_tick=True))
+    try:
+        _s2, sanitized = small_run()
+    finally:
+        deactivate_sanitizer()
+    assert json.dumps(result_to_dict(plain), sort_keys=True) \
+        == json.dumps(result_to_dict(sanitized), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Injected corruption: each violation class must be detected
+# ----------------------------------------------------------------------
+def test_detects_time_accounting_drift():
+    scenario, _result = small_run()
+    scenario.manager.cores[0].stats.busy_ns += 1
+    violations = Sanitizer().finish_run(scenario)
+    assert "time-accounting" in checks_of(violations)
+    assert any("lifetime" in v.message for v in violations)
+
+
+def test_detects_float_typed_time_counter():
+    scenario, _result = small_run()
+    stats = scenario.manager.cores[0].stats
+    stats.idle_ns = float(stats.idle_ns)
+    violations = Sanitizer().finish_run(scenario)
+    assert any(v.check == "time-accounting" and "not int" in v.message
+               for v in violations)
+
+
+def test_detects_packet_conservation_break():
+    scenario, _result = small_run()
+    scenario.generator.specs[0].flow.stats.offered += 1
+    violations = Sanitizer().finish_run(scenario)
+    assert "packet-conservation" in checks_of(violations)
+
+
+def test_detects_ring_flow_identity_break():
+    scenario, _result = small_run()
+    scenario.manager.nfs[0].rx_ring.enqueued_total += 1
+    violations = Sanitizer().finish_run(scenario)
+    assert "ring-occupancy" in checks_of(violations)
+
+
+def test_detects_drop_reason_sum_mismatch():
+    scenario, _result = small_run()
+    ring = scenario.manager.nfs[0].rx_ring
+    ring.dropped_total += 1
+    violations = Sanitizer().finish_run(scenario)
+    assert any(v.check == "ring-occupancy"
+               and "drops_by_reason" in v.message for v in violations)
+
+
+def test_detects_negative_counter():
+    scenario, _result = small_run()
+    scenario.manager.nfs[0].processed_packets = -3
+    violations = Sanitizer().finish_run(scenario)
+    assert any(v.check == "non-negative" and "underflowed" in v.message
+               for v in violations)
+
+
+def test_detects_vruntime_regression():
+    scenario, _result = small_run()
+    sanitizer = Sanitizer()
+    sanitizer.attach(scenario)
+    sanitizer._min_vruntime_seen[0] = float("inf")
+    violations = sanitizer.finish_run(scenario)
+    assert "vruntime-monotonic" in checks_of(violations)
+
+
+def test_detects_capacity_bound_violation():
+    scenario, _result = small_run()
+    scenario.manager.nfs[0].rx_ring.capacity = -1
+    violations = Sanitizer().finish_run(scenario)
+    assert any(v.check == "ring-occupancy" and "outside" in v.message
+               for v in violations)
+
+
+# ----------------------------------------------------------------------
+# Serialisation
+# ----------------------------------------------------------------------
+def test_violation_dict_roundtrip():
+    v = SanitizerViolation("time-accounting", "core:0", "off by one", 123)
+    assert SanitizerViolation.from_dict(v.to_dict()) == v
+    assert "core:0" in v.render() and "t=123ns" in v.render()
+
+
+def test_result_export_roundtrip_carries_violations():
+    scenario, result = small_run()
+    scenario.manager.cores[0].stats.busy_ns += 1
+    result.sanitizer_violations = Sanitizer().finish_run(scenario)
+    assert result.sanitizer_violations
+    back = result_from_dict(result_to_dict(result))
+    assert back.sanitizer_violations == result.sanitizer_violations
+
+
+def test_sanitizer_accumulates_across_runs():
+    sanitizer = Sanitizer()
+    activate_sanitizer(sanitizer)
+    try:
+        _s1, r1 = small_run(seed=1)
+        _s2, r2 = small_run(seed=2)
+    finally:
+        deactivate_sanitizer()
+    assert sanitizer.runs == 2
+    assert r1.sanitizer_violations == [] and r2.sanitizer_violations == []
