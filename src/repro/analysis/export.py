@@ -20,8 +20,15 @@ from repro.metrics.timeseries import TimeSeries
 
 
 def result_to_dict(result: ScenarioResult,
-                   include_series: bool = True) -> Dict[str, Any]:
-    """Flatten a :class:`ScenarioResult` into JSON-compatible data."""
+                   include_series: bool = True,
+                   include_telemetry: bool = False) -> Dict[str, Any]:
+    """Flatten a :class:`ScenarioResult` into JSON-compatible data.
+
+    ``flow_latency`` and ``causality`` (like ``loop_stats``) are excluded
+    by default: the default output feeds the campaign digests, which must
+    be bit-identical with telemetry enabled or disabled.  Pass
+    ``include_telemetry=True`` to archive them alongside the result.
+    """
     out: Dict[str, Any] = {
         "scheduler": result.scheduler,
         "features": result.features,
@@ -47,6 +54,9 @@ def result_to_dict(result: ScenarioResult,
             name: {"times": list(ts.times), "values": list(ts.values)}
             for name, ts in result.series.items()
         }
+    if include_telemetry:
+        out["flow_latency"] = result.flow_latency
+        out["causality"] = result.causality
     return out
 
 
@@ -108,6 +118,8 @@ def result_from_dict(data: Dict[str, Any]) -> ScenarioResult:
             SanitizerViolation.from_dict(v)
             for v in data.get("sanitizer_violations", [])
         ],
+        flow_latency=data.get("flow_latency", {}),
+        causality=data.get("causality", {}),
     )
 
 

@@ -94,15 +94,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("--span-sample-rate must be a positive integer "
               f"(got {args.span_sample_rate})", file=sys.stderr)
         return 2
+    if args.stream_interval_ms <= 0:
+        print("--stream-interval-ms must be a positive number of "
+              f"milliseconds (got {args.stream_interval_ms})",
+              file=sys.stderr)
+        return 2
+    if args.stream_out is not None and not str(args.stream_out).strip():
+        print("--stream-out needs a non-empty path", file=sys.stderr)
+        return 2
     session = None
-    if args.trace is not None or args.metrics_out is not None:
+    if (args.trace is not None or args.metrics_out is not None
+            or args.stream_out is not None):
         from repro.obs.session import (
             ObsSession, activate_session, deactivate_session,
         )
+        from repro.sim.clock import MSEC
+
         session = ObsSession(
             trace_path=args.trace,
             metrics_path=args.metrics_out,
             span_sample_rate=args.span_sample_rate,
+            stream_path=args.stream_out,
+            stream_interval_ns=int(args.stream_interval_ms * MSEC),
         )
         activate_session(session)
     sanitizer = None
@@ -284,6 +297,27 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return rc
 
 
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.stream import diff_telemetry, load_telemetry
+
+    try:
+        baseline = load_telemetry(args.baseline)
+        candidate = load_telemetry(args.candidate)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"cannot load telemetry: {exc}", file=sys.stderr)
+        return 2
+    if args.max_regression < 0:
+        print(f"--max-regression must be >= 0 (got {args.max_regression})",
+              file=sys.stderr)
+        return 2
+    report, regressions = diff_telemetry(
+        baseline, candidate, max_regression=args.max_regression)
+    print(report)
+    return 1 if regressions else 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.check.simcheck import main as simcheck_main
 
@@ -354,6 +388,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--span-sample-rate", type=int, default=64, metavar="N",
                      help="record one packet-lifecycle span per N packets "
                           "(with --trace/--metrics-out; default 64)")
+    run.add_argument("--stream-out", default=None, metavar="PATH",
+                     help="stream periodic telemetry snapshots (gauges, "
+                          "latency percentiles, backpressure attribution) "
+                          "as JSONL to PATH while the run executes")
+    run.add_argument("--stream-interval-ms", type=float, default=100.0,
+                     metavar="N",
+                     help="simulated milliseconds between streamed "
+                          "snapshots (with --stream-out; default 100)")
     run.add_argument("--fault-plan", default=None, metavar="PATH",
                      help="inject faults from a JSON/YAML FaultPlan into "
                           "every scenario the experiment builds (see "
@@ -410,6 +452,22 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--quiet", action="store_true",
                           help="suppress per-task progress on stderr")
     campaign.set_defaults(func=_cmd_campaign)
+
+    obs = sub.add_parser(
+        "obs",
+        help="telemetry utilities (compare two runs' streamed snapshots)")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    diff = obs_sub.add_parser(
+        "diff",
+        help="compare two telemetry files (--stream-out JSONL or JSON "
+             "reports) and flag percentile regressions")
+    diff.add_argument("baseline", help="baseline telemetry file (run A)")
+    diff.add_argument("candidate", help="candidate telemetry file (run B)")
+    diff.add_argument("--max-regression", type=float, default=0.10,
+                      metavar="FRAC",
+                      help="allowed fractional percentile growth before a "
+                           "row is flagged (default 0.10)")
+    diff.set_defaults(func=_cmd_obs_diff)
 
     check = sub.add_parser(
         "check",

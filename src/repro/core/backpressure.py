@@ -58,6 +58,10 @@ class BackpressureController:
         self.clear_events = 0
         #: Optional :class:`repro.obs.bus.EventBus` (wired by the manager).
         self.bus = None
+        #: Optional :class:`repro.obs.causality.CausalityTracer` — receives
+        #: every throttle/clear/relinquish transition with its culprit so
+        #: throttle-induced delay can be attributed per flow class.
+        self.causality = None
 
     # ------------------------------------------------------------------
     # Detection path (called by Tx/Rx threads on watermark feedback)
@@ -93,16 +97,16 @@ class BackpressureController:
                     and ring.head_wait_ns(now_ns)
                     > self.config.queuing_time_threshold_ns
                 ):
-                    self._throttle(nf)
+                    self._throttle(nf, now_ns)
             elif state is BackpressureState.THROTTLE:
                 if ring.below_low:
-                    self._clear(nf)
+                    self._clear(nf, now_ns)
                 else:
                     # A chain may have been released by another NF clearing
                     # while this one is still congested: re-claim it.
-                    self._reclaim(nf)
+                    self._reclaim(nf, now_ns)
 
-    def _throttle(self, nf: NFProcess) -> None:
+    def _throttle(self, nf: NFProcess, now_ns: int) -> None:
         """Enter packet-throttle: shed this NF's downstream chains at entry."""
         self._state[nf.name] = BackpressureState.THROTTLE
         affected: List["ServiceChain"] = []
@@ -128,6 +132,9 @@ class BackpressureController:
                             affected.append(sibling)
         self._throttling[nf.name] = affected
         self.throttle_events += 1
+        if self.causality is not None:
+            for chain in affected:
+                self.causality.on_throttle(nf.name, chain.name, now_ns)
         if self.bus is not None and self.bus.active:
             self.bus.publish("bp.throttle", nf.name,
                              chains=[c.name for c in affected],
@@ -139,9 +146,9 @@ class BackpressureController:
                 if chain.name not in nf.chain_positions:
                     continue
                 for upstream in chain.upstream_of(nf):
-                    self._update_relinquish(upstream)
+                    self._update_relinquish(upstream, now_ns)
 
-    def _reclaim(self, nf: NFProcess) -> None:
+    def _reclaim(self, nf: NFProcess, now_ns: int) -> None:
         """Re-throttle downstream chains released by another NF's clear."""
         mine = self._throttling.setdefault(nf.name, [])
         for chain, position in nf.chain_positions.values():
@@ -150,11 +157,13 @@ class BackpressureController:
             chain.throttled = True
             chain.throttle_cause = nf
             mine.append(chain)
+            if self.causality is not None:
+                self.causality.on_throttle(nf.name, chain.name, now_ns)
             if self.config.enable_relinquish:
                 for upstream in chain.upstream_of(nf):
-                    self._update_relinquish(upstream)
+                    self._update_relinquish(upstream, now_ns)
 
-    def _clear(self, nf: NFProcess) -> None:
+    def _clear(self, nf: NFProcess, now_ns: int) -> None:
         """Queue drained below the low watermark: lift the throttle."""
         self._state[nf.name] = BackpressureState.OFF
         self._watch.pop(nf.name, None)
@@ -163,6 +172,8 @@ class BackpressureController:
             if chain.throttle_cause is nf:
                 chain.throttled = False
                 chain.throttle_cause = None
+                if self.causality is not None:
+                    self.causality.on_clear(nf.name, chain.name, now_ns)
         self.clear_events += 1
         if self.bus is not None and self.bus.active:
             self.bus.publish("bp.clear", nf.name,
@@ -172,12 +183,12 @@ class BackpressureController:
             if chain.name not in nf.chain_positions:
                 continue
             for upstream in chain.upstream_of(nf):
-                self._update_relinquish(upstream)
+                self._update_relinquish(upstream, now_ns)
 
     # ------------------------------------------------------------------
     # Relinquish-flag management
     # ------------------------------------------------------------------
-    def _update_relinquish(self, nf: NFProcess) -> None:
+    def _update_relinquish(self, nf: NFProcess, now_ns: int) -> None:
         """Set the relinquish flag iff *all* of the NF's chains are throttled.
 
         A flagged NF is evicted from the CPU (voluntary switch) and not
@@ -187,6 +198,8 @@ class BackpressureController:
         if should == nf.relinquish:
             return
         nf.relinquish = should
+        if self.causality is not None:
+            self.causality.on_relinquish(nf.name, should, now_ns)
         if self.bus is not None and self.bus.active:
             self.bus.publish("bp.relinquish", nf.name, on=should)
         core = nf.core

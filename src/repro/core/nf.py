@@ -108,6 +108,12 @@ class NFProcess(CoreTask):
         self.io_selector = io_selector
 
         # Measurement state.
+        #: Optional :class:`repro.obs.latency.FlowLatencyTracker` (wired by
+        #: the manager); records exact per-hop wait/service histograms.
+        self.latency = None
+        #: Cached ``(wait, service)`` staging dicts from the tracker —
+        #: stable objects (drained in place), fetched once per NF.
+        self._lat_staging = None
         self.processed_packets = 0
         self.processed_by_chain: Dict[str, int] = {}
         self.wasted_processed = 0  # my output later dropped downstream
@@ -301,11 +307,29 @@ class NFProcess(CoreTask):
         by_chain = self.processed_by_chain
         io = self.io
         tx_enqueue = self.tx_ring.enqueue
+        latency = self.latency
+        lat_wait = lat_svc = None
+        if latency is not None:
+            # Exact (unsampled) wait/service decomposition: stage straight
+            # into the tracker's value->weight dicts; every packet in a
+            # dequeued run shares the same wait and modelled service.
+            staging = self._lat_staging
+            if staging is None:
+                staging = self._lat_staging = latency.hop_staging(self.name)
+            lat_wait, lat_svc = staging
+            svc = svc_ns_per_pkt if svc_ns_per_pkt > 0 else 0.0
         processed = 0
         for flow, count, enqueue_ns, origin_ns, span in batch:
             wait = now_ns - enqueue_ns
             if wait >= 0:
                 hist_add(wait)
+                if lat_wait is not None:
+                    if wait in lat_wait:
+                        lat_wait[wait] += count
+                    else:
+                        lat_wait[wait] = count
+            elif lat_wait is not None:
+                lat_wait[0] = lat_wait.get(0, 0) + count
             if span is not None:
                 # Sampled packet: this hop's queue wait and service time.
                 span.record_hop(self.name, max(0, wait), svc_ns_per_pkt)
@@ -324,6 +348,13 @@ class NFProcess(CoreTask):
             # Space was reserved (batch <= tx free), so this cannot drop.
             tx_enqueue(flow, count, now_ns, origin_ns=origin_ns, span=span)
         self.processed_packets += processed
+        if lat_wait is not None and processed:
+            # The modelled per-packet service time is constant across a
+            # dequeued batch: one staged update covers every run.
+            lat_svc[svc] = lat_svc.get(svc, 0) + processed
+            if (len(lat_wait) >= latency._PENDING_LIMIT
+                    or len(lat_svc) >= latency._PENDING_LIMIT):
+                latency.drain_hop(self.name)
         return io_full
 
     def _maybe_sample(self, now_ns: int, cycles: float, packets: int) -> None:

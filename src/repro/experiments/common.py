@@ -149,6 +149,16 @@ class ScenarioResult:
     #: digest matches an unsanitized run).  Each entry is a
     #: :class:`repro.check.sanitizer.SanitizerViolation`.
     sanitizer_violations: List[Any] = field(default_factory=list)
+    #: Exact per-flow/per-chain/per-hop latency histograms (raw mergeable
+    #: form from :meth:`repro.obs.latency.FlowLatencyTracker.to_dict`).
+    #: Like ``loop_stats``, deliberately NOT serialised by
+    #: :func:`repro.analysis.export.result_to_dict` by default — digests
+    #: stay bit-identical with telemetry on or off.
+    flow_latency: Dict[str, Any] = field(default_factory=dict)
+    #: Backpressure causality attribution
+    #: (:meth:`repro.obs.causality.CausalityTracer.summary`); digest-
+    #: invisible for the same reason.
+    causality: Dict[str, Any] = field(default_factory=dict)
 
     def nf(self, name: str) -> NFSummary:
         return self.nfs[name]
@@ -166,10 +176,14 @@ class Scenario:
         features: str = "NFVnice",
         config: Optional[PlatformConfig] = None,
         seed: int = 0,
+        telemetry: bool = False,
         **config_overrides,
     ):
         self.scheduler = scheduler
         self.features = features
+        #: When True, run() attaches a FlowLatencyTracker and a
+        #: CausalityTracer (unless an ObsSession already did).
+        self.telemetry = telemetry
         self.loop = EventLoop()
         self.rng_factory = RngFactory(seed)
         self.config = feature_config(features, config, **config_overrides)
@@ -248,6 +262,11 @@ class Scenario:
         session = current_session()
         if session is not None and not mgr._started:
             session.attach(self)
+        if self.telemetry and not mgr._started and mgr.latency is None:
+            from repro.obs.causality import CausalityTracer
+            from repro.obs.latency import FlowLatencyTracker
+
+            mgr.attach_telemetry(FlowLatencyTracker(), CausalityTracer())
         sanitizer = current_sanitizer()
         if sanitizer is not None and not mgr._started:
             sanitizer.attach(self)
@@ -349,6 +368,10 @@ class Scenario:
                 "compactions": self.loop.compactions,
                 "peak_heap": self.loop.peak_heap,
             },
+            flow_latency=(mgr.latency.to_dict()
+                          if mgr.latency is not None else {}),
+            causality=(mgr.causality.summary(self.loop.now)
+                       if mgr.causality is not None else {}),
         )
 
 

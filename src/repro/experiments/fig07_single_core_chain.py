@@ -26,7 +26,8 @@ SYSTEMS = tuple(FEATURE_SETS)  # Default, CGroup, OnlyBKPR, NFVnice
 def run_case(scheduler: str, features: str, duration_s: float = 2.0,
              costs: Tuple[float, ...] = CHAIN_COSTS,
              seed: int = 0) -> ScenarioResult:
-    scenario = Scenario(scheduler=scheduler, features=features, seed=seed)
+    scenario = Scenario(scheduler=scheduler, features=features, seed=seed,
+                        telemetry=True)
     build_linear_chain(scenario, costs, core=0)
     scenario.add_flow("flow", "chain", line_rate_fraction=1.0)
     return scenario.run(duration_s)
@@ -62,6 +63,8 @@ def render_cases(results: Dict[Tuple[str, str], ScenarioResult]) -> str:
         format_figure7(results),
         format_table3(results),
         format_table4(results),
+        format_slo(results),
+        format_attribution(results),
     ])
 
 
@@ -123,6 +126,51 @@ def format_table4(results: Dict[Tuple[str, str], ScenarioResult]) -> str:
         headers += [f"{sched}/Def", f"{sched}/NFVn"]
     return render_table(headers, rows,
                         title="Table 4: scheduling delay and runtime (ms)")
+
+
+def format_slo(results: Dict[Tuple[str, str], ScenarioResult]) -> str:
+    """Per-flow sojourn SLO percentiles (exact, every delivered packet)."""
+    from repro.obs.latency import percentile_row
+
+    schedulers = sorted({k[0] for k in results}, key=SCHEDULERS.index)
+    systems = sorted({k[1] for k in results}, key=SYSTEMS.index)
+    rows: List[list] = []
+    for sched in schedulers:
+        for system in systems:
+            res = results[(sched, system)]
+            hist = (res.flow_latency.get("flows") or {}).get("flow")
+            if hist is None:
+                rows.append([f"{sched}/{system}", "-", "-", "-", "-", "-"])
+                continue
+            row = percentile_row(hist)
+            rows.append([f"{sched}/{system}", row["count"], row["p50_us"],
+                         row["p95_us"], row["p99_us"], row["p99_9_us"]])
+    return render_table(
+        ["sched/system", "pkts", "p50 us", "p95 us", "p99 us", "p99.9 us"],
+        rows,
+        title="SLO view: per-flow sojourn latency percentiles "
+              "(flow 'flow', NIC arrival to chain exit)",
+    )
+
+
+def format_attribution(results: Dict[Tuple[str, str], ScenarioResult]) -> str:
+    """Per-NF throttle-induced-delay attribution across the grid."""
+    from repro.obs.causality import ATTRIBUTION_HEADERS, attribution_rows
+
+    schedulers = sorted({k[0] for k in results}, key=SCHEDULERS.index)
+    systems = sorted({k[1] for k in results}, key=SYSTEMS.index)
+    rows: List[list] = []
+    for sched in schedulers:
+        for system in systems:
+            for row in attribution_rows(results[(sched, system)].causality):
+                rows.append([f"{sched}/{system}"] + row)
+    if not rows:
+        rows.append(["(no backpressure activity)", "-", 0, 0.0, 0.0, 0, 0])
+    return render_table(
+        ["sched/system"] + ATTRIBUTION_HEADERS, rows,
+        title="Backpressure attribution: who caused the queueing "
+              "(throttle episodes and their per-flow cost)",
+    )
 
 
 def main(duration_s: float = 2.0) -> str:

@@ -28,7 +28,7 @@ NF_COSTS = {"nf1": 270.0, "nf2": 120.0, "nf3": 4500.0, "nf4": 300.0}
 def run_case(features: str, duration_s: float = 2.0,
              seed: int = 0) -> ScenarioResult:
     scenario = Scenario(
-        scheduler="NORMAL", features=features, seed=seed,
+        scheduler="NORMAL", features=features, seed=seed, telemetry=True,
         # Two chain entry flows at an aggregate 14.88 Mpps: give the
         # manager two Rx threads as the testbed's dual-port setup would.
         num_rx_threads=2,
@@ -59,7 +59,51 @@ def campaign_cases(duration_s: float = 2.0) -> List[CaseSpec]:
 
 
 def render_cases(results: Dict[str, ScenarioResult]) -> str:
-    return "\n".join([format_figure9(results), format_table6(results)])
+    return "\n".join([
+        format_figure9(results),
+        format_table6(results),
+        format_slo(results),
+        format_attribution(results),
+    ])
+
+
+def format_slo(results: Dict[str, ScenarioResult]) -> str:
+    """Per-flow SLO percentiles: the latency cost chain-2's bottleneck
+    imposes on each flow class under each system."""
+    from repro.obs.latency import percentile_row
+
+    rows: List[list] = []
+    for system in ("Default", "NFVnice"):
+        flows = results[system].flow_latency.get("flows") or {}
+        for flow_id in ("flow1", "flow2"):
+            hist = flows.get(flow_id)
+            if hist is None:
+                rows.append([f"{system}/{flow_id}", "-", "-", "-", "-", "-"])
+                continue
+            row = percentile_row(hist)
+            rows.append([f"{system}/{flow_id}", row["count"], row["p50_us"],
+                         row["p95_us"], row["p99_us"], row["p99_9_us"]])
+    return render_table(
+        ["system/flow", "pkts", "p50 us", "p95 us", "p99 us", "p99.9 us"],
+        rows,
+        title="SLO view: per-flow sojourn latency percentiles",
+    )
+
+
+def format_attribution(results: Dict[str, ScenarioResult]) -> str:
+    """Who throttled whom: NF3's episodes should carry chain-2's cost."""
+    from repro.obs.causality import ATTRIBUTION_HEADERS, attribution_rows
+
+    rows: List[list] = []
+    for system in ("Default", "NFVnice"):
+        for row in attribution_rows(results[system].causality):
+            rows.append([system] + row)
+    if not rows:
+        rows.append(["(no backpressure activity)", "-", 0, 0.0, 0.0, 0, 0])
+    return render_table(
+        ["system"] + ATTRIBUTION_HEADERS, rows,
+        title="Backpressure attribution: per-NF throttle-induced delay",
+    )
 
 
 def format_figure9(results: Dict[str, ScenarioResult]) -> str:

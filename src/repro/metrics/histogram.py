@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from math import log as _log
-from typing import Deque, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 
 class CycleHistogram:
@@ -38,6 +38,11 @@ class CycleHistogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        # Last (value, bucket) pair: hot callers feed long runs of equal
+        # values (constant per-NF service times, zero queue waits), so one
+        # equality check replaces the log() almost every time.
+        self._memo_value: Optional[float] = None
+        self._memo_idx = 0
 
     def _bucket(self, value: float) -> int:
         if value < 1.0:
@@ -56,13 +61,18 @@ class CycleHistogram:
         # bit-identical to _bucket() — percentiles feed digest-checked
         # results.
         counts = self._counts
-        if value < 1.0:
-            idx = 0
+        if value == self._memo_value:
+            idx = self._memo_idx
         else:
-            idx = int(_log(value) * self._scale) + 1
-            last = len(counts) - 1
-            if idx > last:
-                idx = last
+            if value < 1.0:
+                idx = 0
+            else:
+                idx = int(_log(value) * self._scale) + 1
+                last = len(counts) - 1
+                if idx > last:
+                    idx = last
+            self._memo_value = value
+            self._memo_idx = idx
         counts[idx] += weight
         self.count += weight
         self.total += value * weight
@@ -109,6 +119,77 @@ class CycleHistogram:
         self.total = 0.0
         self.min = None
         self.max = None
+
+    # ------------------------------------------------------------------
+    # Aggregation and canonical serialisation
+    # ------------------------------------------------------------------
+    def merge(self, other: "CycleHistogram") -> "CycleHistogram":
+        """Fold ``other`` into this histogram bucket-by-bucket.
+
+        Both histograms must use the same ``bins_per_octave`` (bucket
+        boundaries line up exactly, so merging loses no precision beyond
+        what each histogram already lost).  Merging per-worker histograms
+        in a fixed (enumeration) order yields the same result for any
+        worker count — the invariance contract the campaign runner's
+        digests already follow.  Returns ``self`` for chaining.
+        """
+        if other.bins_per_octave != self.bins_per_octave:
+            raise ValueError(
+                f"cannot merge histograms with bins_per_octave "
+                f"{other.bins_per_octave} into {self.bins_per_octave}"
+            )
+        if len(other._counts) > len(self._counts):
+            self._counts.extend(
+                [0] * (len(other._counts) - len(self._counts)))
+            # The clamp boundary moved: a memoised clamped index would
+            # now be wrong for the same value.
+            self._memo_value = None
+        for idx, c in enumerate(other._counts):
+            if c:
+                self._counts[idx] += c
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-safe form (trailing empty buckets trimmed).
+
+        Two histograms holding the same samples produce byte-identical
+        dicts regardless of how they were accumulated or merged, except
+        for ``total`` whose float sum is order-sensitive — callers that
+        need bit-identical aggregates must merge in a fixed order.
+        """
+        counts = list(self._counts)
+        while counts and counts[-1] == 0:
+            counts.pop()
+        return {
+            "bins_per_octave": self.bins_per_octave,
+            "n_bins": len(self._counts),
+            "counts": counts,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CycleHistogram":
+        """Rebuild a histogram from :meth:`to_dict` output (exact inverse)."""
+        hist = cls(bins_per_octave=int(data["bins_per_octave"]))
+        n_bins = int(data.get("n_bins", len(hist._counts)))
+        counts = [int(c) for c in data.get("counts", [])]
+        if n_bins < len(counts):
+            n_bins = len(counts)
+        hist._counts = counts + [0] * (n_bins - len(counts))
+        hist.count = int(data.get("count", sum(counts)))
+        hist.total = float(data.get("total", 0.0))
+        hist.min = data.get("min")
+        hist.max = data.get("max")
+        return hist
 
 
 class SlidingWindowEstimator:

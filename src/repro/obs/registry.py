@@ -55,6 +55,30 @@ class Gauge:
         return f"Gauge({self.name!r}, {self.value})"
 
 
+class CallbackCounter:
+    """A monotonic counter whose value is read from a live callable.
+
+    Like a ``fn``-backed :class:`Gauge` but registered (and exported) with
+    Prometheus type ``counter`` — the right type for values that only ever
+    grow, such as per-reason ring drop totals, so downstream tooling can
+    apply ``rate()`` to them.
+    """
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str = "",
+                 fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self.fn = fn
+
+    @property
+    def value(self) -> float:
+        return float(self.fn()) if self.fn is not None else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CallbackCounter({self.name!r}, {self.value})"
+
+
 class MetricsRegistry:
     """Named counters, gauges and histograms with Prometheus-style labels."""
 
@@ -85,7 +109,16 @@ class MetricsRegistry:
         self._metrics[key] = (kind, metric)
         return metric
 
-    def counter(self, name: str, help: str = "", **labels) -> Counter:
+    def counter(self, name: str, help: str = "",
+                fn: Optional[Callable[[], float]] = None, **labels):
+        """A monotonic counter; with ``fn`` it reads live state on demand
+        (a :class:`CallbackCounter`) instead of accumulating via `add`."""
+        if fn is not None:
+            counter = self._register("counter", name, help, labels,
+                                     lambda: CallbackCounter(name, fn))
+            if isinstance(counter, CallbackCounter) and counter.fn is None:
+                counter.fn = fn
+            return counter
         return self._register("counter", name, help, labels,
                               lambda: Counter(name))
 

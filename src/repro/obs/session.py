@@ -61,6 +61,8 @@ class ObsSession:
         span_sample_rate: int = 64,
         max_bus_events: int = 100_000,
         sample_period_ns: int = 100 * MSEC,
+        stream_path: Optional[str] = None,
+        stream_interval_ns: int = 100 * MSEC,
     ):
         self.trace_path = trace_path
         self.metrics_path = metrics_path
@@ -71,6 +73,12 @@ class ObsSession:
         self.buses: List[Tuple[str, EventBus]] = []
         self._label_counts: Dict[str, int] = {}
         self._samplers: List[RegistrySampler] = []
+        self.streamer = None
+        if stream_path is not None:
+            from repro.obs.stream import SnapshotStreamer
+
+            self.streamer = SnapshotStreamer(stream_path,
+                                             int(stream_interval_ns))
 
     # ------------------------------------------------------------------
     def _unique_label(self, base: str) -> str:
@@ -86,8 +94,19 @@ class ObsSession:
         if self.trace_path is not None:
             bus = EventBus(scenario.loop, max_events=self.max_bus_events)
             self.buses.append((label, bus))
-        scenario.manager.attach_observability(bus=bus, spans=self.spans)
+        latency = causality = None
+        if self.streamer is not None:
+            from repro.obs.causality import CausalityTracer
+            from repro.obs.latency import FlowLatencyTracker
+
+            latency, causality = FlowLatencyTracker(), CausalityTracer()
+        scenario.manager.attach_observability(
+            bus=bus, spans=self.spans, latency=latency, causality=causality)
         self.register_platform_metrics(scenario.manager, label)
+        if self.streamer is not None:
+            self.streamer.register(label, scenario.loop,
+                                   registry=self.registry,
+                                   latency=latency, causality=causality)
         sampler = RegistrySampler(scenario.loop, self.registry,
                                   period_ns=self.sample_period_ns,
                                   label_filter={"scenario": label})
@@ -116,18 +135,20 @@ class ObsSession:
                       "instantaneous Rx ring occupancy",
                       fn=(lambda nf=nf: len(nf.rx_ring)),
                       nf=nf.name, scenario=scenario)
-            reg.gauge("repro_nf_rx_ring_drops",
-                      "arrivals dropped at the NF Rx ring",
-                      fn=(lambda nf=nf: nf.rx_ring.dropped_total),
-                      nf=nf.name, scenario=scenario)
+            # Drop totals are monotonic: export them with Prometheus type
+            # ``counter`` (not gauge) so consumers can rate() them.
+            reg.counter("repro_nf_rx_ring_drops_total",
+                        "arrivals dropped at the NF Rx ring",
+                        fn=(lambda nf=nf: nf.rx_ring.dropped_total),
+                        nf=nf.name, scenario=scenario)
             from repro.platform.ring import DROP_REASONS
             for reason in DROP_REASONS:
-                reg.gauge("repro_nf_rx_ring_drops_by_reason",
-                          "Rx-ring drops split by cause (congestion vs "
-                          "failure shedding)",
-                          fn=(lambda nf=nf, r=reason:
-                              nf.rx_ring.drops_by_reason.get(r, 0)),
-                          nf=nf.name, reason=reason, scenario=scenario)
+                reg.counter("repro_nf_rx_ring_drops_by_reason_total",
+                            "Rx-ring drops split by cause (congestion vs "
+                            "failure shedding)",
+                            fn=(lambda nf=nf, r=reason:
+                                nf.rx_ring.drops_by_reason.get(r, 0)),
+                            nf=nf.name, reason=reason, scenario=scenario)
             reg.gauge("repro_nf_restarts",
                       "recovery-policy restarts of this NF",
                       fn=(lambda nf=nf: nf.restarts),
@@ -201,6 +222,8 @@ class ObsSession:
     def finalize(self) -> str:
         """Write requested artifacts; returns a printable summary."""
         lines: List[str] = []
+        if self.streamer is not None:
+            lines.append(self.streamer.finalize())
         if self.trace_path is not None:
             write_chrome_trace(self.trace_path, self.buses)
             total = sum(len(bus) for _l, bus in self.buses)

@@ -69,6 +69,9 @@ class NFManager:
         # Observability (attach_observability() before start()).
         self.bus = None
         self.spans = None
+        # Flow-level telemetry (attach_telemetry() before start()).
+        self.latency = None
+        self.causality = None
 
         # NFVnice subsystems (wired at start()).
         self.cgroups = CgroupController()
@@ -103,6 +106,8 @@ class NFManager:
             )
             if self.bus is not None:
                 core.attach_bus(self.bus)
+            if self.causality is not None:
+                core.causality = self.causality
             self.cores[core_id] = core
         return self.cores[core_id]
 
@@ -119,6 +124,8 @@ class NFManager:
         if self.bus is not None:
             nf.rx_ring.bus = self.bus
             nf.tx_ring.bus = self.bus
+        if self.latency is not None:
+            nf.latency = self.latency
         if self._started:
             self._register_live_nf(nf)
         return nf
@@ -141,20 +148,24 @@ class NFManager:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-    def attach_observability(self, bus=None, spans=None) -> None:
+    def attach_observability(self, bus=None, spans=None,
+                             latency=None, causality=None) -> None:
         """Attach an event bus and/or a span collector to the platform.
 
         Call before :meth:`start`.  ``bus`` (an
         :class:`repro.obs.bus.EventBus`) receives scheduler, ring,
         backpressure, ECN, wakeup and monitor events from every layer;
         ``spans`` (a :class:`repro.obs.spans.SpanCollector`) samples
-        packet lifecycles at the Rx thread.  With neither attached the
+        packet lifecycles at the Rx thread.  ``latency`` and ``causality``
+        delegate to :meth:`attach_telemetry`.  With nothing attached the
         data path pays one ``is not None`` branch per publish site.
         """
         if self._started:
             raise RuntimeError("attach observability before start()")
         self.bus = bus
         self.spans = spans
+        if latency is not None or causality is not None:
+            self.attach_telemetry(latency=latency, causality=causality)
         if self.faults is not None:
             self.faults.bus = bus
         if bus is None:
@@ -165,6 +176,28 @@ class NFManager:
             nf.rx_ring.bus = bus
             nf.tx_ring.bus = bus
         self.nic.rx_ring.bus = bus
+
+    def attach_telemetry(self, latency=None, causality=None) -> None:
+        """Attach flow-level telemetry trackers to the platform.
+
+        Call before :meth:`start`.  ``latency`` (a
+        :class:`repro.obs.latency.FlowLatencyTracker`) receives every
+        chain completion and every per-hop batch; ``causality`` (a
+        :class:`repro.obs.causality.CausalityTracer`) receives throttle
+        transitions, entry discards, wasted drops, deliveries and
+        dispatches.  Separate from :meth:`attach_observability` so a
+        telemetry attach never clobbers a hand-attached bus.
+        """
+        if self._started:
+            raise RuntimeError("attach telemetry before start()")
+        if latency is not None:
+            self.latency = latency
+            for nf in self.nfs:
+                nf.latency = latency
+        if causality is not None:
+            self.causality = causality
+            for core in self.cores.values():
+                core.causality = causality
 
     def add_chain(self, name: str, nfs: Sequence["NFProcess"]) -> ServiceChain:
         """Define a service chain over already-added NFs."""
@@ -233,6 +266,10 @@ class NFManager:
             self.rx_thread.bus = self.bus
         if self.spans is not None:
             self.rx_thread.spans = self.spans
+        if self.causality is not None:
+            if self.backpressure is not None:
+                self.backpressure.causality = self.causality
+            self.rx_thread.causality = self.causality
         n_tx = max(1, cfg.num_tx_threads)
         partitions: List[List] = [self.nfs[i::n_tx] for i in range(n_tx)]
         self.tx_threads = [
@@ -245,6 +282,10 @@ class NFManager:
             # attribute is populated.
             self.tx_threads = [TxThread(self.loop, [], self.nic, self.wakeup,
                                         self.backpressure, self.ecn, cfg)]
+        if self.latency is not None or self.causality is not None:
+            for tx in self.tx_threads:
+                tx.latency = self.latency
+                tx.causality = self.causality
         if cfg.enable_cgroups:
             self.monitor = MonitorThread(
                 self.loop, self.nfs, self.cgroups, cfg, record_series=True

@@ -51,6 +51,9 @@ class RxThread:
         #: Optional observability hooks (wired by NFManager.start()).
         self.bus = None
         self.spans = None
+        #: Optional :class:`repro.obs.causality.CausalityTracer` charged
+        #: with every early discard's culprit attribution.
+        self.causality = None
         cap = self.config.rx_thread_max_pps
         if cap is None:
             self._budget_per_poll = None
@@ -94,6 +97,9 @@ class RxThread:
                 chain.entry_discards += seg.count
                 flow.stats.entry_discards += seg.count
                 self.early_discards += seg.count
+                if self.causality is not None:
+                    self.causality.on_entry_discard(
+                        chain.name, flow.flow_id, seg.count)
                 if self.bus is not None and self.bus.active:
                     self.bus.publish("rx.discard", chain.name,
                                      count=seg.count, flow=flow.flow_id)

@@ -54,6 +54,19 @@ class TxThread:
         self.forwarded = 0
         self.egressed = 0
         self.wasted_drops = 0
+        #: Optional telemetry hooks (wired by NFManager.start()): a
+        #: :class:`repro.obs.latency.FlowLatencyTracker` fed on every chain
+        #: completion and a :class:`repro.obs.causality.CausalityTracer`
+        #: fed deliveries and wasted drops.  One branch each when off.
+        self.latency = None
+        self.causality = None
+        # Per-flow staging caches: deliveries arrive in long same-flow
+        # runs, so one identity check replaces the tracker lookups.  The
+        # staged containers are stable objects (drained in place), so a
+        # cached reference never goes stale.
+        self._tel_flow = None
+        self._lat_pend = None
+        self._cause_pend = None
         self._poll_ns = int(self.config.tx_poll_ns)
         self._tick: Optional[EventHandle] = None
 
@@ -115,6 +128,31 @@ class TxThread:
             latency = now - seg.origin_ns
             if latency >= 0:
                 chain.latency_hist.add(latency, weight=seg.count)
+                lat = self.latency
+                cause = self.causality
+                if lat is not None or cause is not None:
+                    if flow is not self._tel_flow:
+                        self._tel_flow = flow
+                        if lat is not None:
+                            self._lat_pend = lat.delivery_staging(
+                                flow.flow_id, chain.name)
+                        if cause is not None:
+                            self._cause_pend = cause.delivery_staging(
+                                flow.flow_id, chain.name)
+                    count = seg.count
+                    if lat is not None:
+                        fp = self._lat_pend
+                        if latency in fp:
+                            fp[latency] += count
+                        else:
+                            fp[latency] = count
+                            if len(fp) >= lat._PENDING_LIMIT:
+                                lat._flush()
+                    if cause is not None:
+                        pend = self._cause_pend
+                        pend.append((seg.origin_ns, now, count))
+                        if len(pend) >= cause._PENDING_LIMIT:
+                            cause.drain_deliveries()
             return
         accepted, dropped, above_high = nxt.rx_ring.enqueue(
             flow, seg.count, now, origin_ns=seg.origin_ns, span=seg.span)
@@ -124,6 +162,10 @@ class TxThread:
             chain.wasted_drops += dropped
             nf.wasted_processed += dropped
             self.wasted_drops += dropped
+            if self.causality is not None:
+                # The full ring that destroyed this upstream work belongs
+                # to the congested downstream NF.
+                self.causality.on_wasted_drop(nxt.name, dropped)
         if above_high and self.backpressure is not None:
             self.backpressure.mark_overloaded(nxt)
         if accepted:

@@ -35,6 +35,11 @@ class ExperimentReport:
     tasks: List[TaskOutcome] = field(default_factory=list)
     task_wall_s: float = 0.0          # sum of in-worker execution times
     sim_seconds: Optional[float] = None
+    #: Merged flow-latency telemetry across the experiment's cases
+    #: (``{"flow_latency": raw mergeable dict}``); folded in task
+    #: enumeration order, so — like the digest — it is bit-identical for
+    #: any worker count.  Empty when no case carried telemetry.
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -140,11 +145,31 @@ def _aggregate(exp_id: str, module_path: str,
         from repro.analysis.export import result_from_dict
 
         module = importlib.import_module(module_path)
-        results = {
-            o.spec.key: result_from_dict(o.payload["value"]) for o in outcomes
-        }
+        results = {}
+        for o in outcomes:
+            result = result_from_dict(o.payload["value"])
+            # Digest-invisible telemetry rides next to "value"; reattach
+            # it so render_cases prints the same SLO/attribution tables a
+            # serial run would.
+            extra = o.payload.get("telemetry")
+            if extra:
+                result.flow_latency = extra.get("flow_latency", {})
+                result.causality = extra.get("causality", {})
+            results[o.spec.key] = result
         artifact = module.render_cases(results)
+    telemetry: Dict[str, object] = {}
+    latency_dicts = [
+        (o.payload.get("telemetry") or {}).get("flow_latency") or {}
+        for o in outcomes
+    ]
+    if any(latency_dicts):
+        from repro.obs.latency import merge_latency_dicts
+
+        # Enumeration order: merging is a left fold, so the merged
+        # histograms (float `total` included) are worker-count invariant.
+        telemetry["flow_latency"] = merge_latency_dicts(latency_dicts)
     return ExperimentReport(
         id=exp_id, status="ok", digest=digest, artifact=artifact,
         tasks=outcomes, task_wall_s=task_wall_s, sim_seconds=sim_seconds,
+        telemetry=telemetry,
     )

@@ -45,7 +45,17 @@ def _encode_result(value: Any) -> Dict[str, Any]:
     if isinstance(value, ScenarioResult):
         from repro.analysis.export import result_to_dict
 
-        return {"kind": "scenario", "value": result_to_dict(value)}
+        payload: Dict[str, Any] = {
+            "kind": "scenario", "value": result_to_dict(value),
+        }
+        # Telemetry travels in a sibling key: the campaign digest hashes
+        # only payload["value"], so enabling telemetry cannot perturb it.
+        if value.flow_latency or value.causality:
+            payload["telemetry"] = {
+                "flow_latency": value.flow_latency,
+                "causality": value.causality,
+            }
+        return payload
     if isinstance(value, str):
         return {"kind": "text", "value": value}
     return {

@@ -108,6 +108,9 @@ class Core:
         #: published to.  ``None`` (the default) costs one branch per event.
         self.bus = None
         self._tracer = None
+        #: Optional :class:`repro.obs.causality.CausalityTracer` — told of
+        #: every dispatch so relinquish-release → resume delays close.
+        self.causality = None
 
         #: A failed core dispatches nothing and refuses wakeups until
         #: :meth:`repair` (fault injection: the paper's schedulers assume
@@ -316,6 +319,10 @@ class Core:
         task.stats.sched_delay_count += 1
         if self.bus is not None and self.bus.active:
             self.bus.publish("sched.dispatch", task.name, core=self.core_id)
+        if self.causality is not None:
+            # Cheap when no resume is pending: early-returns on an empty
+            # pending map inside the tracer.
+            self.causality.on_dispatch(task.name, now)
 
         self.current = task
         self._charged_this_run = 0.0

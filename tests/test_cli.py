@@ -99,3 +99,73 @@ def test_run_without_observability_attaches_nothing(capsys):
     assert current_session() is None
     out = capsys.readouterr().out
     assert "[obs]" not in out
+
+
+def test_run_rejects_nonpositive_stream_interval(capsys):
+    assert main(["run", "tab05", "--stream-interval-ms", "0"]) == 2
+    assert "--stream-interval-ms" in capsys.readouterr().err
+    assert main(["run", "tab05", "--stream-interval-ms", "-5"]) == 2
+    assert "--stream-interval-ms" in capsys.readouterr().err
+
+
+def test_run_rejects_empty_stream_out(capsys):
+    assert main(["run", "tab05", "--stream-out", "  "]) == 2
+    assert "--stream-out" in capsys.readouterr().err
+
+
+def test_run_streams_snapshots(tmp_path, capsys):
+    """--stream-out writes JSONL snapshots with latency + causality."""
+    path = tmp_path / "snaps.jsonl"
+    assert main(["run", "tab05", "--duration", "0.2",
+                 "--stream-out", str(path),
+                 "--stream-interval-ms", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "[obs] streamed" in out
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    assert len(lines) >= 4  # 3 periodic at 50 ms + final
+    for snap in lines:
+        assert snap["scenario"]
+        assert "latency" in snap and "causality" in snap
+    assert lines[-1]["latency"]["flows"]
+
+
+def test_obs_diff_identical_files_pass(tmp_path, capsys):
+    entry = {"case": {"latency": {"flows": {"f": {
+        "count": 10, "p50_us": 5.0, "p95_us": 20.0,
+        "p99_us": 40.0, "p99_9_us": 80.0}}}}}
+    a = tmp_path / "a.json"
+    a.write_text(json.dumps(entry))
+    assert main(["obs", "diff", str(a), str(a)]) == 0
+    assert "0 percentile regression(s)" in capsys.readouterr().out
+
+
+def test_obs_diff_flags_regression_with_exit_1(tmp_path, capsys):
+    def entry(p99):
+        return {"case": {"latency": {"flows": {"f": {
+            "count": 10, "p50_us": 5.0, "p95_us": 20.0,
+            "p99_us": p99, "p99_9_us": 2 * p99}}}}}
+
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    a.write_text(json.dumps(entry(40.0)))
+    b.write_text(json.dumps(entry(60.0)))
+    assert main(["obs", "diff", str(a), str(b)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    # A loose enough threshold accepts the same pair.
+    assert main(["obs", "diff", str(a), str(b),
+                 "--max-regression", "0.6"]) == 0
+
+
+def test_obs_diff_bad_inputs(tmp_path, capsys):
+    good = tmp_path / "good.json"
+    good.write_text("{}")
+    assert main(["obs", "diff", str(tmp_path / "nope.json"),
+                 str(good)]) == 2
+    assert "cannot load telemetry" in capsys.readouterr().err
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["obs", "diff", str(good), str(bad)]) == 2
+    assert "cannot load telemetry" in capsys.readouterr().err
+    assert main(["obs", "diff", str(good), str(good),
+                 "--max-regression", "-1"]) == 2
+    assert "--max-regression" in capsys.readouterr().err

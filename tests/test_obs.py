@@ -155,6 +155,21 @@ class TestSpans:
         assert _percentile(values, 95) == 95.0
         assert _percentile([], 50) == 0.0
 
+    def test_percentile_single_sample(self):
+        # Any percentile of one sample is that sample.
+        for p in (0, 1, 50, 99, 100):
+            assert _percentile([42.0], p) == 42.0
+
+    def test_percentile_all_equal(self):
+        values = [7.0] * 10
+        for p in (1, 50, 95, 99.9):
+            assert _percentile(values, p) == 7.0
+
+    def test_percentile_extremes(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(values, 0) == 1.0    # rank clamps to 1
+        assert _percentile(values, 100) == 4.0
+
     def test_platform_spans_record_every_hop(self):
         scenario = build_scenario()
         spans = SpanCollector(sample_rate=32)
@@ -219,6 +234,17 @@ class TestRegistry:
         assert reg.scalar_value("live") == 1
         state["v"] = 5
         assert reg.scalar_value("live") == 5
+
+    def test_counter_callable_reads_live_state(self):
+        reg = MetricsRegistry()
+        state = {"n": 3}
+        reg.counter("drops_total", fn=lambda: state["n"], nf="a")
+        assert reg.scalar_value("drops_total", nf="a") == 3
+        state["n"] = 8
+        assert reg.scalar_value("drops_total", nf="a") == 8
+        # Re-registration is idempotent and keeps the original callable.
+        reg.counter("drops_total", nf="a")
+        assert reg.scalar_value("drops_total", nf="a") == 8
 
     def test_sampler_snapshots_scalars(self, loop):
         reg = MetricsRegistry()
@@ -293,6 +319,45 @@ class TestExporters:
                 continue
             float(line.rsplit(" ", 1)[1])
 
+    def test_callback_counter_renders_as_counter_with_escaping(self):
+        """Fn-backed counters expose TYPE counter and escape label values
+        (backslash, quote, newline) exactly like value-backed metrics."""
+        reg = MetricsRegistry()
+        state = {"n": 7}
+        reg.counter("repro_drops_total", "ring drops",
+                    fn=lambda: state["n"],
+                    nf="a", reason='sea\\led "hard"\nnewline')
+        text = render_prometheus(reg)
+        assert "# TYPE repro_drops_total counter" in text
+        assert 'reason="sea\\\\led \\"hard\\"\\nnewline"' in text
+        line = [l for l in text.splitlines()
+                if l.startswith("repro_drops_total")][0]
+        # The raw newline was escaped, so the sample stays on one line.
+        assert line.rsplit(" ", 1)[1] == "7"
+
+    def test_ring_drop_counters_exported_per_reason(self):
+        """The per-reason ring drop split reaches Prometheus as labelled
+        monotonic counters (not gauges)."""
+        from repro.platform.ring import DROP_REASONS
+
+        session = ObsSession()
+        activate_session(session)
+        try:
+            build_scenario().run(0.05)
+        finally:
+            deactivate_session()
+        text = render_prometheus(session.registry)
+        assert "# TYPE repro_nf_rx_ring_drops_total counter" in text
+        assert ("# TYPE repro_nf_rx_ring_drops_by_reason_total counter"
+                in text)
+        for reason in DROP_REASONS:
+            assert f'reason="{reason}"' in text
+        # The overloaded chain must actually have counted full-ring drops.
+        full_lines = [l for l in text.splitlines()
+                      if l.startswith("repro_nf_rx_ring_drops_by_reason")
+                      and 'reason="full"' in l]
+        assert any(float(l.rsplit(" ", 1)[1]) > 0 for l in full_lines)
+
 
 class TestObsSession:
     def test_session_activation_lifecycle(self):
@@ -321,6 +386,28 @@ class TestObsSession:
         with open(trace) as fh:
             assert json.load(fh)["traceEvents"]
         assert "repro_chain_completed_packets" in prom.read_text()
+
+    def test_session_streams_snapshots(self, tmp_path):
+        from repro.sim.clock import MSEC as _MSEC
+
+        path = tmp_path / "snaps.jsonl"
+        session = ObsSession(stream_path=str(path),
+                             stream_interval_ns=10 * _MSEC)
+        activate_session(session)
+        try:
+            build_scenario().run(0.05)
+        finally:
+            deactivate_session()
+        summary = session.finalize()
+        assert "streamed" in summary
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) >= 5  # 4 periodic at 10 ms + final
+        for snap in lines:
+            assert {"scenario", "t_ns", "gauges", "latency",
+                    "causality"} <= set(snap)
+        final = lines[-1]
+        assert final["latency"]["flows"]["f"]["count"] > 0
+        assert final["causality"]["culprits"]  # nf2 throttles this chain
 
     def test_no_session_means_no_bus(self):
         scenario = build_scenario()

@@ -171,6 +171,29 @@ class TestCampaign:
         assert report.sim_time_throughput > 0
         assert report.failures == []
 
+    def test_telemetry_merge_is_worker_count_invariant(self):
+        """fig09's cases carry latency telemetry; the merged histograms
+        (float totals included) must be byte-identical for any worker
+        count, like the digest."""
+        import json
+
+        serial = run_campaign(["fig09"], workers=1, duration_s=FAST)
+        parallel = run_campaign(["fig09"], workers=2, duration_s=FAST)
+        ts = serial.experiments["fig09"].telemetry
+        tp = parallel.experiments["fig09"].telemetry
+        assert ts and "flow_latency" in ts
+        assert json.dumps(ts, sort_keys=True) == \
+            json.dumps(tp, sort_keys=True)
+        merged = ts["flow_latency"]
+        # Both cases saw both flows; merged counts are their sums.
+        assert set(merged["flows"]) == {"flow1", "flow2"}
+        assert serial.experiments["fig09"].digest == \
+            parallel.experiments["fig09"].digest
+
+    def test_telemetry_absent_without_tracked_cases(self):
+        campaign = run_campaign(["tab05"], workers=1, duration_s=FAST)
+        assert campaign.experiments["tab05"].telemetry == {}
+
 
 # ----------------------------------------------------------------------
 # Digests
