@@ -67,6 +67,8 @@ EXPERIMENTS: Dict[str, tuple] = {
              "Sec 5: cooperative (L-thread) scheduling comparison"),
     "chaos_recovery": ("repro.experiments.chaos_recovery",
                        "Chaos: fault kind x detection x recovery policy"),
+    "slo_battery": ("repro.experiments.slo_battery",
+                    "SLO battery: bursty/flash/mixed x NORMAL/EDF/DEADLINE"),
 }
 
 

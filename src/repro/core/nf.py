@@ -171,6 +171,23 @@ class NFProcess(CoreTask):
             cycles = 1.0
         return cycles * self._ns_per_cycle
 
+    def deadline_ns(self, now_ns: int, default_slo_ns: int) -> Optional[int]:
+        """Absolute SLO deadline of the head-of-ring packet, or None.
+
+        ``origin_ns`` is stamped once at NIC arrival and carried through
+        every hop, so a downstream NF inherits the end-to-end deadline of
+        the oldest traffic it is holding (deadline inheritance).  The
+        budget is the head flow's declared SLO class (``Flow.slo_ns``),
+        falling back to the scheduler's ``default_slo_ns``.
+        """
+        head = self.rx_ring.peek_head()
+        if head is None:
+            return None
+        slo = head.flow.slo_ns
+        if slo is None:
+            slo = default_slo_ns
+        return head.origin_ns + slo
+
     def execute(self, now_ns: int, granted_ns: float) -> ExecResult:
         """libnf's batch loop for ``granted_ns`` of CPU time."""
         self.heartbeat_ns = now_ns

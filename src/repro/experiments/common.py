@@ -159,6 +159,12 @@ class ScenarioResult:
     #: (:meth:`repro.obs.causality.CausalityTracer.summary`); digest-
     #: invisible for the same reason.
     causality: Dict[str, Any] = field(default_factory=dict)
+    #: SLO control-loop summary (:meth:`repro.core.monitor.SLOGovernor.
+    #: summary`): targets, boost/migrate events, miss counts.  Empty when
+    #: no SLO governor ran.  Digest-invisible like ``flow_latency`` (the
+    #: governor's *actions* are digest-covered through the results they
+    #: change; this is just the log).
+    slo: Dict[str, Any] = field(default_factory=dict)
 
     def nf(self, name: str) -> NFSummary:
         return self.nfs[name]
@@ -177,6 +183,8 @@ class Scenario:
         config: Optional[PlatformConfig] = None,
         seed: int = 0,
         telemetry: bool = False,
+        slo_governor: Optional[bool] = None,
+        spare_cores: Sequence[int] = (),
         **config_overrides,
     ):
         self.scheduler = scheduler
@@ -184,6 +192,13 @@ class Scenario:
         #: When True, run() attaches a FlowLatencyTracker and a
         #: CausalityTracer (unless an ObsSession already did).
         self.telemetry = telemetry
+        #: SLO control loop: None = auto (on for the DEADLINE scheduler
+        #: when SLO classes are declared and cgroups are enabled), or
+        #: force with True/False.  The governor needs live percentile
+        #: telemetry, so activating it also turns ``telemetry`` on.
+        self.slo_governor = slo_governor
+        #: Cores the governor may migrate a bottleneck NF onto.
+        self.spare_cores = list(spare_cores)
         self.loop = EventLoop()
         self.rng_factory = RngFactory(seed)
         self.config = feature_config(features, config, **config_overrides)
@@ -193,6 +208,10 @@ class Scenario:
             rng=self.rng_factory.stream("traffic"),
         )
         self._nf_cores: Dict[str, int] = {}
+        #: SLO class name -> end-to-end sojourn budget (ns).
+        self._slo_classes: Dict[str, int] = {}
+        #: chain name -> tightest SLO budget (ns) among its flows.
+        self._chain_slo_ns: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -214,6 +233,17 @@ class Scenario:
         nfs = [self.manager.nf_by_name(n) for n in nf_names]
         return self.manager.add_chain(name, nfs)
 
+    def add_slo_class(self, name: str, slo_us: float) -> None:
+        """Declare an SLO class: an end-to-end p99 sojourn budget (µs).
+
+        Flows join a class via ``add_flow(..., slo_class=name)``; the
+        budget lands on :attr:`repro.platform.packet.Flow.slo_ns`, where
+        deadline-aware schedulers and the SLO governor read it.
+        """
+        if slo_us <= 0:
+            raise ValueError(f"SLO budget must be positive, got {slo_us!r}")
+        self._slo_classes[name] = int(slo_us * 1e3)
+
     def add_flow(
         self,
         flow_id: str,
@@ -222,15 +252,29 @@ class Scenario:
         line_rate_fraction: Optional[float] = None,
         pkt_size: int = 64,
         protocol: str = "udp",
+        slo_class: Optional[str] = None,
         **spec_kwargs,
     ) -> Flow:
         """Create a flow, steer it into a chain, and register its load.
 
         Give either an absolute ``rate_pps`` or a ``line_rate_fraction`` of
         the NIC's 64-byte-equivalent line rate for this packet size.
+        ``slo_class`` names a class declared with :meth:`add_slo_class`.
         """
-        flow = Flow(flow_id, pkt_size=pkt_size, protocol=protocol)
+        slo_ns = None
+        if slo_class is not None:
+            if slo_class not in self._slo_classes:
+                raise ValueError(
+                    f"undeclared SLO class {slo_class!r}; declare it with "
+                    f"add_slo_class() first")
+            slo_ns = self._slo_classes[slo_class]
+        flow = Flow(flow_id, pkt_size=pkt_size, protocol=protocol,
+                    slo_ns=slo_ns)
         chain = self.manager.chains[chain_name]
+        if slo_ns is not None:
+            tightest = self._chain_slo_ns.get(chain_name)
+            if tightest is None or slo_ns < tightest:
+                self._chain_slo_ns[chain_name] = slo_ns
         self.manager.install_flow(flow, chain)
         if rate_pps is None:
             if line_rate_fraction is None:
@@ -262,6 +306,11 @@ class Scenario:
         session = current_session()
         if session is not None and not mgr._started:
             session.attach(self)
+        governor_on = self._governor_enabled()
+        if governor_on:
+            # The governor projects misses from live p99 snapshots; it
+            # needs the tracker attached.
+            self.telemetry = True
         if self.telemetry and not mgr._started and mgr.latency is None:
             from repro.obs.causality import CausalityTracer
             from repro.obs.latency import FlowLatencyTracker
@@ -273,6 +322,11 @@ class Scenario:
         fault_plan = current_plan()
         if fault_plan is not None and mgr.faults is None and not mgr._started:
             self.attach_faults(fault_plan)
+        if governor_on and mgr.slo_governor is None and not mgr._started:
+            from repro.core.monitor import SLOGovernor
+
+            mgr.attach_slo_governor(SLOGovernor(
+                mgr, self._chain_slo_ns, spare_cores=self.spare_cores))
         sampler = IntervalSampler(self.loop, SEC)
         for chain in mgr.chains.values():
             sampler.add_probe(
@@ -292,6 +346,18 @@ class Scenario:
         if sanitizer is not None:
             result.sanitizer_violations = sanitizer.finish_run(self)
         return result
+
+    def _governor_enabled(self) -> bool:
+        """Should run() wire an SLO governor?  Explicit flag wins; auto
+        mode turns it on for the DEADLINE scheduler when SLO classes are
+        declared and cgroups (hence the Monitor) are enabled."""
+        if not self._chain_slo_ns or not self.config.enable_cgroups:
+            return False
+        if self.slo_governor is not None:
+            return self.slo_governor
+        return (isinstance(self.scheduler, str)
+                and self.scheduler.strip().upper()
+                in ("DEADLINE", "DEADLINE_CFS", "DL"))
 
     def _summarise(self, duration_s: float,
                    sampler: IntervalSampler) -> ScenarioResult:
@@ -372,6 +438,8 @@ class Scenario:
                           if mgr.latency is not None else {}),
             causality=(mgr.causality.summary(self.loop.now)
                        if mgr.causality is not None else {}),
+            slo=(mgr.slo_governor.summary()
+                 if mgr.slo_governor is not None else {}),
         )
 
 

@@ -85,6 +85,9 @@ class NFManager:
         # Fault injection (attach_faults() before start()).
         self.faults = None
 
+        # SLO control loop (attach_slo_governor() before start()).
+        self.slo_governor = None
+
     # ------------------------------------------------------------------
     # Topology construction
     # ------------------------------------------------------------------
@@ -199,6 +202,41 @@ class NFManager:
             for core in self.cores.values():
                 core.causality = causality
 
+    def attach_slo_governor(self, governor) -> None:
+        """Attach an :class:`repro.core.monitor.SLOGovernor`.
+
+        Call before :meth:`start`.  The governor is handed to the Monitor
+        thread at start; it is inert when cgroups are disabled (there is
+        no Monitor to evaluate it, and no shares to steer).
+        """
+        if self._started:
+            raise RuntimeError("attach the SLO governor before start()")
+        self.slo_governor = governor
+
+    def migrate_nf(self, nf: "NFProcess", core_id: int) -> bool:
+        """Chain-aware core reallocation: move ``nf`` onto ``core_id``.
+
+        Models the orchestrator reassigning an NF process's CPU affinity:
+        the NF is descheduled from its old core (a running NF loses its
+        in-flight batch, exactly like the fault injector's teardown — the
+        rings are untouched, so no packets are lost), re-homed, and woken
+        on the new core so it resumes on the next dispatch there.
+        Returns False when the NF is already on ``core_id``.
+        """
+        old_core = nf.core
+        if old_core is not None and old_core.core_id == core_id:
+            return False
+        if old_core is not None:
+            old_core.deschedule(nf)
+            old_core.tasks.remove(nf)
+            nf.core = None
+        new_core = self.core(core_id)
+        new_core.add_task(nf)
+        if self._started and self.wakeup is not None:
+            # Re-arm the NF on its new core if it has pending work.
+            self.wakeup.notify(nf)
+        return True
+
     def add_chain(self, name: str, nfs: Sequence["NFProcess"]) -> ServiceChain:
         """Define a service chain over already-added NFs."""
         if name in self.chains:
@@ -292,6 +330,8 @@ class NFManager:
             )
             if self.bus is not None:
                 self.monitor.bus = self.bus
+            if self.slo_governor is not None:
+                self.monitor.slo_governor = self.slo_governor
             self.monitor.start()
         self._apply_numa_penalties()
         # Hook I/O completions into the wakeup path so an NF blocked on

@@ -33,6 +33,7 @@ class Flow:
         "responsive",
         "tcp",
         "stats",
+        "slo_ns",
     )
 
     def __init__(
@@ -41,14 +42,21 @@ class Flow:
         pkt_size: int = 64,
         protocol: str = "udp",
         chain: Optional["ServiceChain"] = None,
+        slo_ns: Optional[int] = None,
     ):
         if pkt_size <= 0:
             raise ValueError(f"pkt_size must be positive, got {pkt_size!r}")
+        if slo_ns is not None and slo_ns <= 0:
+            raise ValueError(f"slo_ns must be positive, got {slo_ns!r}")
         self.flow_id = flow_id
         self.chain = chain
         self.pkt_size = int(pkt_size)
         self.protocol = protocol
         self.responsive = protocol == "tcp"
+        #: End-to-end sojourn budget (ns) from the flow's SLO class, or
+        #: None when no class was declared.  Deadline-aware schedulers
+        #: read it as ``origin_ns + slo_ns`` for the head-of-ring packet.
+        self.slo_ns = slo_ns
         #: Set by :class:`repro.traffic.tcp.TCPFlow` when this flow is
         #: congestion controlled; receives loss/ECN feedback.
         self.tcp = None
@@ -62,7 +70,7 @@ class Flow:
         losses and ECN marks from *any* host feed the same sender.
         """
         twin = Flow(self.flow_id, pkt_size=self.pkt_size,
-                    protocol=self.protocol)
+                    protocol=self.protocol, slo_ns=self.slo_ns)
         twin.stats = self.stats
         twin.tcp = self.tcp
         return twin

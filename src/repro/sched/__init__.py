@@ -11,6 +11,10 @@ Reproducing that claim requires faithful scheduler models to tune:
   coarser quantum.
 * :mod:`~repro.sched.rr` — ``SCHED_RR`` with a fixed quantum (the paper uses
   1 ms and 100 ms variants).
+* :mod:`~repro.sched.edf` / :mod:`~repro.sched.deadline` — the SLO-aware
+  family: earliest-deadline-first over head-of-ring packet deadlines, and
+  a deadline-cognizant CFS variant whose cpu.shares are steered by the
+  Monitor's :class:`~repro.core.monitor.SLOGovernor`.
 * :mod:`~repro.sched.core` — a simulated CPU core: dispatches tasks picked
   by the policy, charges runtime and context-switch costs, and accounts
   voluntary/involuntary switches, scheduling delay and idle time.
@@ -23,6 +27,8 @@ from repro.sched.cfs import CFSBatchScheduler, CFSScheduler
 from repro.sched.cgroups import CgroupController
 from repro.sched.cooperative import CooperativeScheduler
 from repro.sched.core import Core
+from repro.sched.deadline import DeadlineCFSScheduler, project_slo_miss
+from repro.sched.edf import EDFScheduler
 from repro.sched.rr import RRScheduler
 
 __all__ = [
@@ -35,6 +41,9 @@ __all__ = [
     "CFSBatchScheduler",
     "RRScheduler",
     "CooperativeScheduler",
+    "EDFScheduler",
+    "DeadlineCFSScheduler",
+    "project_slo_miss",
     "Core",
     "CgroupController",
 ]
@@ -43,8 +52,8 @@ __all__ = [
 def make_scheduler(name: str) -> Scheduler:
     """Factory for the scheduler configurations used across the evaluation.
 
-    Accepted names: ``NORMAL``, ``BATCH``, ``RR`` / ``RR_1MS``, ``RR_100MS``
-    (case-insensitive).
+    Accepted names: ``NORMAL``, ``BATCH``, ``RR`` / ``RR_1MS``, ``RR_100MS``,
+    ``COOP``, ``EDF``, ``DEADLINE`` (case-insensitive).
     """
     from repro.sim.clock import MSEC
 
@@ -53,6 +62,10 @@ def make_scheduler(name: str) -> Scheduler:
         return CFSScheduler()
     if key == "BATCH":
         return CFSBatchScheduler()
+    if key == "EDF":
+        return EDFScheduler()
+    if key in ("DEADLINE", "DEADLINE_CFS", "DL"):
+        return DeadlineCFSScheduler()
     if key in ("RR", "RR_1MS", "RR(1MS)"):
         return RRScheduler(quantum_ns=MSEC)
     if key in ("RR_100MS", "RR(100MS)"):

@@ -1,0 +1,249 @@
+"""Heavy-tailed and bursty arrival models for the traffic generator.
+
+The CBR/Poisson patterns in :mod:`repro.traffic.flows` model smooth
+offered load; tail-latency work needs the opposite — traffic whose
+short-term rate departs violently from its mean.  Three classic models:
+
+* :class:`ParetoOnOff` — on/off source with Pareto(α) phase durations:
+  heavy-tailed burst lengths (self-similar aggregate traffic à la
+  Willinger et al.), emitting at a boosted rate while ON so the long-run
+  average still equals ``rate_pps``.
+* :class:`MMPP` — 2-state Markov-modulated Poisson process: a background
+  and a surge intensity with exponential-ish (geometric per-tick) state
+  holding times, normalised so the long-run mean is ``rate_pps``.
+* :class:`FlashCrowd` — a deterministic rate envelope (baseline → linear
+  ramp → peak hold → decay) over Poisson arrivals: the load spike every
+  SLO story starts with.
+
+Determinism contract (PR 4's vectorized-batch + RNG-rewind rules): a
+model draws from the supplied RNG **strictly tick by tick** — drawing a
+prefix of ``n`` ticks consumes exactly the draws of those ticks — and
+exposes :meth:`snapshot`/:meth:`restore` capturing its internal state
+exactly.  :class:`~repro.traffic.flows.FlowSpec` builds on those two
+properties to serve counts from a precomputed batch and, on a mid-run
+rate change, rewind both the RNG and the model to the batch start and
+replay the consumed prefix at the old rate — so the emitted stream is
+bit-identical to unbatched per-tick draws, mid-run rate changes
+included.
+
+Models never construct RNGs (simcheck SIM401); they only consume the
+generator handed down from :class:`~repro.sim.rng.RngFactory`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+
+class ArrivalModel:
+    """Stateful per-tick arrival law (see module docstring contract)."""
+
+    #: Pattern name used by :class:`~repro.traffic.flows.FlowSpec`.
+    name = "model"
+
+    def draw(self, rate_pps: float, dt_ns: int, n: int, rng) -> List[int]:
+        """Arrival counts for the next ``n`` ticks of ``dt_ns`` each.
+
+        Must consume ``rng`` strictly tick by tick, so that
+        ``draw(r, dt, k, rng)`` consumes exactly the prefix of the draws
+        ``draw(r, dt, n, rng)`` would have made, for any ``k <= n``.
+        """
+        raise NotImplementedError
+
+    def snapshot(self) -> Any:
+        """Internal state, exact (restoring it replays identically)."""
+        raise NotImplementedError
+
+    def restore(self, state: Any) -> None:
+        raise NotImplementedError
+
+
+class ParetoOnOff(ArrivalModel):
+    """On/off bursts with Pareto-distributed phase durations.
+
+    While ON the source emits CBR at ``rate_pps * (mean_on + mean_off) /
+    mean_on`` (so the long-run average equals ``rate_pps``); while OFF it
+    is silent.  Phase durations (in ticks) are Pareto(α) with the given
+    means via inverse-transform sampling — one uniform draw per phase
+    flip, which keeps RNG consumption strictly sequential.  ``alpha <= 2``
+    gives the infinite-variance burst lengths of self-similar traffic.
+    """
+
+    name = "pareto_onoff"
+
+    def __init__(self, alpha: float = 1.5, mean_on_s: float = 0.005,
+                 mean_off_s: float = 0.015):
+        if alpha <= 1.0:
+            raise ValueError("alpha must be > 1 (finite mean)")
+        if mean_on_s <= 0 or mean_off_s <= 0:
+            raise ValueError("phase means must be positive")
+        self.alpha = float(alpha)
+        self.mean_on_s = float(mean_on_s)
+        self.mean_off_s = float(mean_off_s)
+        self.burst_factor = (mean_on_s + mean_off_s) / mean_on_s
+        self._on = False
+        self._left = 0       # ticks remaining in the current phase
+        self._carry = 0.0    # fractional packets carried while ON
+
+    def _phase_ticks(self, mean_s: float, dt_ns: int, rng) -> int:
+        mean_ticks = mean_s * 1e9 / dt_ns
+        # Pareto with mean m: scale xm = m * (alpha-1) / alpha.
+        xm = mean_ticks * (self.alpha - 1.0) / self.alpha
+        u = rng.random()
+        d = xm * (1.0 - u) ** (-1.0 / self.alpha)
+        return max(1, int(d))
+
+    def draw(self, rate_pps: float, dt_ns: int, n: int, rng) -> List[int]:
+        burst_pps = rate_pps * self.burst_factor
+        expected = burst_pps * dt_ns / 1e9
+        counts: List[int] = []
+        append = counts.append
+        for _ in range(n):
+            if self._left <= 0:
+                self._on = not self._on
+                mean_s = self.mean_on_s if self._on else self.mean_off_s
+                self._left = self._phase_ticks(mean_s, dt_ns, rng)
+            self._left -= 1
+            if self._on:
+                c = self._carry + expected
+                k = int(c)
+                self._carry = c - k
+                append(k)
+            else:
+                append(0)
+        return counts
+
+    def snapshot(self) -> Tuple[bool, int, float]:
+        return (self._on, self._left, self._carry)
+
+    def restore(self, state: Tuple[bool, int, float]) -> None:
+        self._on, self._left, self._carry = state
+
+
+class MMPP(ArrivalModel):
+    """2-state Markov-modulated Poisson process.
+
+    Each tick the chain may switch state (geometric holding times with
+    the given means — the discrete skeleton of an exponential sojourn),
+    then draws Poisson arrivals at ``rate_pps`` scaled by the state's
+    intensity factor.  Factors are normalised so the stationary mean rate
+    equals ``rate_pps``.  Exactly two RNG draws per tick (one uniform,
+    one Poisson), so prefix replay is trivially exact.
+    """
+
+    name = "mmpp"
+
+    def __init__(self, low_factor: float = 0.2, high_factor: float = 3.0,
+                 mean_low_s: float = 0.01, mean_high_s: float = 0.0025):
+        if low_factor < 0 or high_factor <= 0:
+            raise ValueError("intensity factors must be non-negative")
+        if mean_low_s <= 0 or mean_high_s <= 0:
+            raise ValueError("state means must be positive")
+        # Stationary probabilities are proportional to the holding means.
+        span = mean_low_s + mean_high_s
+        mean_factor = (low_factor * mean_low_s
+                       + high_factor * mean_high_s) / span
+        if mean_factor <= 0:
+            raise ValueError("degenerate MMPP: zero mean intensity")
+        self.low_factor = low_factor / mean_factor
+        self.high_factor = high_factor / mean_factor
+        self.mean_low_s = float(mean_low_s)
+        self.mean_high_s = float(mean_high_s)
+        self._high = False
+
+    def draw(self, rate_pps: float, dt_ns: int, n: int, rng) -> List[int]:
+        counts: List[int] = []
+        append = counts.append
+        for _ in range(n):
+            mean_s = self.mean_high_s if self._high else self.mean_low_s
+            p_switch = dt_ns / (mean_s * 1e9)
+            if rng.random() < p_switch:
+                self._high = not self._high
+            factor = self.high_factor if self._high else self.low_factor
+            lam = rate_pps * factor * dt_ns / 1e9
+            append(int(rng.poisson(lam)))
+        return counts
+
+    def snapshot(self) -> bool:
+        return self._high
+
+    def restore(self, state: bool) -> None:
+        self._high = state
+
+
+class FlashCrowd(ArrivalModel):
+    """Poisson arrivals under a deterministic flash-crowd envelope.
+
+    The intensity multiplier is 1 until ``start_s``, ramps linearly to
+    ``peak_factor`` over ``ramp_s``, holds for ``hold_s``, decays back to
+    1 over ``decay_s`` (default: ``ramp_s``), then stays at baseline.
+    Time is the model's own tick counter — independent of absolute
+    simulation time, so the envelope is identical wherever the flow
+    starts.  One Poisson draw per tick.
+    """
+
+    name = "flash_crowd"
+
+    def __init__(self, start_s: float = 0.01, ramp_s: float = 0.01,
+                 hold_s: float = 0.02, peak_factor: float = 5.0,
+                 decay_s: float = None):
+        if peak_factor < 1.0:
+            raise ValueError("peak_factor must be >= 1")
+        if start_s < 0 or ramp_s < 0 or hold_s < 0:
+            raise ValueError("envelope times must be non-negative")
+        self.start_s = float(start_s)
+        self.ramp_s = float(ramp_s)
+        self.hold_s = float(hold_s)
+        self.peak_factor = float(peak_factor)
+        self.decay_s = float(ramp_s if decay_s is None else decay_s)
+        self._tick = 0
+
+    def factor_at(self, t_s: float) -> float:
+        """The envelope multiplier at model time ``t_s``."""
+        t = t_s - self.start_s
+        if t < 0:
+            return 1.0
+        if t < self.ramp_s:
+            return 1.0 + (self.peak_factor - 1.0) * t / self.ramp_s
+        t -= self.ramp_s
+        if t < self.hold_s:
+            return self.peak_factor
+        t -= self.hold_s
+        if t < self.decay_s:
+            return self.peak_factor - (
+                (self.peak_factor - 1.0) * t / self.decay_s)
+        return 1.0
+
+    def draw(self, rate_pps: float, dt_ns: int, n: int, rng) -> List[int]:
+        counts: List[int] = []
+        append = counts.append
+        for _ in range(n):
+            t_s = self._tick * dt_ns / 1e9
+            lam = rate_pps * self.factor_at(t_s) * dt_ns / 1e9
+            append(int(rng.poisson(lam)))
+            self._tick += 1
+        return counts
+
+    def snapshot(self) -> int:
+        return self._tick
+
+    def restore(self, state: int) -> None:
+        self._tick = state
+
+
+#: Pattern name -> model class, the names FlowSpec accepts directly.
+ARRIVAL_MODELS = {
+    ParetoOnOff.name: ParetoOnOff,
+    MMPP.name: MMPP,
+    FlashCrowd.name: FlashCrowd,
+}
+
+
+def make_arrival_model(pattern: str, **params) -> ArrivalModel:
+    """Instantiate an arrival model by pattern name."""
+    cls = ARRIVAL_MODELS.get(pattern)
+    if cls is None:
+        known = ", ".join(sorted(ARRIVAL_MODELS))
+        raise ValueError(
+            f"unknown arrival pattern {pattern!r} (models: {known})")
+    return cls(**params)

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.platform.packet import Flow
+from repro.traffic.arrivals import ArrivalModel, make_arrival_model
 
 
 class FlowSpec:
@@ -14,6 +15,12 @@ class FlowSpec:
     model (or a scripted experiment such as Figure 15a's cost step) can
     change it mid-run.  ``start_ns``/``stop_ns`` bound the active interval
     (Figure 13 turns its UDP flows on at t=15 s and off at t=40 s).
+
+    ``pattern`` is ``"cbr"``, ``"poisson"``, or any name registered in
+    :data:`repro.traffic.arrivals.ARRIVAL_MODELS` (``"pareto_onoff"``,
+    ``"mmpp"``, ``"flash_crowd"``) — constructed with ``model_params``.
+    A pre-built :class:`~repro.traffic.arrivals.ArrivalModel` instance
+    can be passed via ``model`` instead.
     """
 
     def __init__(
@@ -23,25 +30,40 @@ class FlowSpec:
         start_ns: int = 0,
         stop_ns: Optional[int] = None,
         pattern: str = "cbr",
+        model: Optional[ArrivalModel] = None,
+        model_params: Optional[dict] = None,
     ):
         if rate_pps < 0:
             raise ValueError("rate must be non-negative")
-        if pattern not in ("cbr", "poisson"):
-            raise ValueError(f"unknown arrival pattern {pattern!r}")
+        if model is not None:
+            if model_params:
+                raise ValueError(
+                    "model_params only applies when the model is built "
+                    "from a pattern name")
+            pattern = model.name
+        elif pattern not in ("cbr", "poisson"):
+            # Raises for genuinely unknown patterns.
+            model = make_arrival_model(pattern, **(model_params or {}))
+        elif model_params:
+            raise ValueError(
+                f"pattern {pattern!r} takes no model_params")
         self.flow = flow
         self.rate_pps = float(rate_pps)
         self.start_ns = int(start_ns)
         self.stop_ns = None if stop_ns is None else int(stop_ns)
         self.pattern = pattern
+        self.model = model
         self._carry = 0.0  # fractional packets carried between ticks
         # Precomputed per-tick counts (see next_count).  The batch is a
         # pure function of (_carry, rate, dt) for CBR, or a block of RNG
-        # draws for Poisson; _batch_rate detects mid-run rate changes.
+        # draws for Poisson/model specs; _batch_rate detects mid-run rate
+        # changes.
         self._batch: Optional[List[int]] = None
         self._batch_pos = 0
         self._batch_rate = -1.0
         self._batch_carry0 = 0.0   # CBR carry at the batch's first tick
-        self._batch_state = None   # Poisson: RNG state before the draw
+        self._batch_state = None   # RNG state before the batch's draws
+        self._model_state: Any = None  # model snapshot at the batch start
 
     def active(self, now_ns: int) -> bool:
         if now_ns < self.start_ns:
@@ -56,6 +78,10 @@ class FlowSpec:
     def packets_this_tick(self, dt_ns: int, rng=None) -> int:
         """Packets to emit for a tick of ``dt_ns`` (CBR keeps a fractional
         carry so long-run rates are exact; Poisson draws from the RNG)."""
+        if self.model is not None:
+            if rng is None:
+                raise ValueError(f"{self.pattern} arrivals need an RNG")
+            return self.model.draw(self.rate_pps, dt_ns, 1, rng)[0]
         expected = self.rate_pps * dt_ns / 1e9
         if self.pattern == "poisson":
             if rng is None:
@@ -97,6 +123,8 @@ class FlowSpec:
         return batch[pos]
 
     def _refill(self, dt_ns: int, rng, rng_batch: bool) -> int:
+        if self.model is not None:
+            return self._refill_model(dt_ns, rng, rng_batch)
         pos = self._batch_pos
         stale = self._batch is not None and pos < len(self._batch)
         if self.pattern == "cbr":
@@ -141,6 +169,37 @@ class FlowSpec:
             lam = self.rate_pps * dt_ns / 1e9
             counts = [int(v) for v in
                       rng.poisson(lam, size=self._BATCH_TICKS)]
+        self._batch = counts
+        self._batch_rate = self.rate_pps
+        self._batch_pos = 1
+        return counts[0]
+
+    def _refill_model(self, dt_ns: int, rng, rng_batch: bool) -> int:
+        """Batch refill for :class:`~repro.traffic.arrivals.ArrivalModel`
+        specs — the Poisson rewind protocol extended with the model's own
+        state: on a stale batch both the RNG *and* the model rewind to
+        the batch start, then replay exactly the consumed prefix at the
+        old rate, so the emitted stream (and every future RNG draw)
+        matches per-tick scalar draws bit for bit."""
+        if rng is None:
+            raise ValueError(f"{self.pattern} arrivals need an RNG")
+        model = self.model
+        if not rng_batch:
+            # Shared RNG: batching would interleave the stream
+            # differently than scalar draws; stay scalar.
+            self._batch = None
+            self._batch_rate = self.rate_pps
+            return model.draw(self.rate_pps, dt_ns, 1, rng)[0]
+        pos = self._batch_pos
+        stale = self._batch is not None and pos < len(self._batch)
+        if stale:
+            rng.bit_generator.state = self._batch_state
+            model.restore(self._model_state)
+            if pos:
+                model.draw(self._batch_rate, dt_ns, pos, rng)
+        self._batch_state = rng.bit_generator.state
+        self._model_state = model.snapshot()
+        counts = model.draw(self.rate_pps, dt_ns, self._BATCH_TICKS, rng)
         self._batch = counts
         self._batch_rate = self.rate_pps
         self._batch_pos = 1

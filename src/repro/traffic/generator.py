@@ -36,12 +36,16 @@ class TrafficGenerator:
         self.specs: List[FlowSpec] = []
         self.offered_total = 0
         self._tick_handle: Optional[EventHandle] = None
-        self._rng_batch = True  # single Poisson consumer of self.rng?
+        self._rng_batch = True  # single RNG-consuming spec on self.rng?
 
     def add(self, spec: FlowSpec) -> FlowSpec:
         self.specs.append(spec)
+        # Batched draws are only stream-exact when a single spec consumes
+        # the shared RNG; Poisson and every arrival-model pattern draw
+        # from it, CBR does not.
         self._rng_batch = (
-            sum(1 for s in self.specs if s.pattern == "poisson") <= 1
+            sum(1 for s in self.specs
+                if s.pattern == "poisson" or s.model is not None) <= 1
         )
         return spec
 

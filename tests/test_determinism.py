@@ -51,6 +51,16 @@ _SNIPPETS = {
         f"duration_s={DURATION_S})\n"
         "print(digest_of(result_to_dict(res)))\n"
     ),
+    # The SLO battery adds the remaining moving parts: arrival models
+    # (MMPP gold + Poisson bulk), the deadline-CFS scheduler, and the
+    # SLO governor's boost/migration decisions.
+    "slo": (
+        "from repro.experiments.slo_battery import run_case\n"
+        "from repro.analysis.export import result_to_dict\n"
+        "from repro.runner.digest import digest_of\n"
+        f"res = run_case('mixed', 'DEADLINE', duration_s={DURATION_S})\n"
+        "print(digest_of(result_to_dict(res)))\n"
+    ),
 }
 
 
@@ -103,3 +113,20 @@ def test_same_process_repeat_run_is_identical():
     second = digest_of(result_to_dict(
         run_case("BATCH", "NFVnice", duration_s=DURATION_S)))
     assert first == second
+
+
+def test_slo_battery_digest_invariant_across_worker_counts():
+    """The slo_battery campaign digest is a pure function of the case
+    set: 1, 2 and 4 workers must chain per-case digests identically.
+    This is the acceptance gate for the bursty/flash/mixed arrival
+    models and the SLO governor under parallel execution."""
+    from repro.runner.campaign import run_campaign
+
+    digests = {}
+    for workers in (1, 2, 4):
+        campaign = run_campaign(["slo_battery"], workers=workers,
+                                duration_s=DURATION_S)
+        report = campaign.experiments["slo_battery"]
+        assert report.ok, report.failures
+        digests[workers] = report.digest
+    assert digests[1] == digests[2] == digests[4], digests

@@ -52,7 +52,8 @@ def test_clean_run_reports_zero_violations():
 
 
 def test_clean_run_all_schedulers():
-    for scheduler in ("NORMAL", "BATCH", "RR_1MS", "COOP"):
+    for scheduler in ("NORMAL", "BATCH", "RR_1MS", "COOP", "EDF",
+                      "DEADLINE"):
         sanitizer = Sanitizer()
         activate_sanitizer(sanitizer)
         try:

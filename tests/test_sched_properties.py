@@ -6,6 +6,7 @@ accounting, and work conservation.
 """
 
 import math
+from collections import deque
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -13,6 +14,8 @@ from hypothesis import strategies as st
 from repro.sched.base import CoreTask, ExecOutcome, ExecResult, TaskState
 from repro.sched.cfs import CFSBatchScheduler, CFSScheduler
 from repro.sched.core import Core
+from repro.sched.deadline import DeadlineCFSScheduler
+from repro.sched.edf import EDFScheduler
 from repro.sched.rr import RRScheduler
 from repro.sim.clock import MSEC, USEC
 from repro.sim.engine import EventLoop
@@ -42,11 +45,12 @@ class RandomWorkTask(CoreTask):
 
 
 SCHEDULERS = [CFSScheduler, CFSBatchScheduler,
-              lambda: RRScheduler(quantum_ns=MSEC)]
+              lambda: RRScheduler(quantum_ns=MSEC),
+              EDFScheduler, DeadlineCFSScheduler]
 
 
 @given(
-    sched_idx=st.integers(0, 2),
+    sched_idx=st.integers(0, len(SCHEDULERS) - 1),
     ops=st.lists(
         st.tuples(
             st.sampled_from(["push", "advance", "interrupt", "block_ready"]),
@@ -113,7 +117,7 @@ class Greedy(CoreTask):
 
 
 @given(
-    sched_idx=st.integers(0, 2),
+    sched_idx=st.integers(0, len(SCHEDULERS) - 1),
     ops=st.lists(
         st.tuples(
             st.sampled_from(["push", "advance", "interrupt", "block_ready"]),
@@ -236,3 +240,140 @@ def test_cfs_long_run_shares_proportional_to_weights(weights):
         expected = w / total_weight
         actual = t.stats.runtime_ns / total_runtime
         assert abs(actual - expected) < 0.08
+
+
+# ----------------------------------------------------------------------
+# EDF: deadline-order dispatch and no starvation under inheritance
+# ----------------------------------------------------------------------
+class DeadlinePacketTask(CoreTask):
+    """NF-shaped task: a FIFO ring of packet origins plus an SLO budget.
+
+    Mirrors ``NFProcess.deadline_ns``: the deadline is the *head*
+    packet's origin plus this task's SLO — inherited end-to-end, since
+    origins are stamped once and never rewritten.
+    """
+
+    def __init__(self, name, slo_ns, service_ns=50 * USEC):
+        super().__init__(name)
+        self.slo_ns = int(slo_ns)
+        self.service_ns = float(service_ns)
+        self.origins = deque()
+        self.completed = []
+        self._head_done = 0.0
+
+    def deadline_ns(self, now_ns, default_slo_ns):
+        if not self.origins:
+            return None
+        return self.origins[0] + self.slo_ns
+
+    def push(self, origin_ns):
+        self.origins.append(int(origin_ns))
+
+    def estimate_run_ns(self, now_ns):
+        if not self.origins:
+            return 0.0
+        return len(self.origins) * self.service_ns - self._head_done
+
+    def execute(self, now_ns, granted_ns):
+        used = 0.0
+        while self.origins and (used + self.service_ns - self._head_done
+                                <= granted_ns + 1e-9):
+            used += self.service_ns - self._head_done
+            self._head_done = 0.0
+            self.completed.append((self.origins.popleft(), now_ns))
+        if self.origins:
+            left = granted_ns - used
+            if left > 1e-9:
+                self._head_done += left
+                used = granted_ns
+            return ExecResult(used, ExecOutcome.USED_ALL)
+        return ExecResult(used, ExecOutcome.RAN_OUT)
+
+
+@given(deadlines=st.lists(st.integers(0, 10 ** 9), min_size=1, max_size=40))
+@settings(max_examples=120, deadline=None)
+def test_edf_dispatch_follows_deadline_order(deadlines):
+    """pick_next drains the runqueue in non-decreasing deadline order,
+    and every stamped key is an exact integer (no float contamination)."""
+    sched = EDFScheduler()
+    for i, origin in enumerate(deadlines):
+        task = DeadlinePacketTask(f"t{i}", slo_ns=1)
+        task.push(origin)
+        sched.enqueue(task, now_ns=0, wakeup=True)
+    picked = []
+    while True:
+        task = sched.pick_next(0)
+        if task is None:
+            break
+        assert isinstance(task.edf_deadline_ns, int)
+        picked.append(task.edf_deadline_ns)
+    assert picked == sorted(picked)
+    assert len(picked) == len(deadlines)
+    assert sched.nr_ready == 0
+
+
+@given(
+    slos_ms=st.lists(st.integers(1, 50), min_size=2, max_size=4),
+    pushes=st.lists(
+        st.tuples(
+            st.integers(0, 3),        # which task (mod len)
+            st.integers(0, 2000),     # arrival offset (us)
+            st.integers(1, 8),        # packets in the burst
+        ),
+        min_size=1, max_size=40,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_edf_no_starvation_under_deadline_inheritance(slos_ms, pushes):
+    """Every packet pushed to any task eventually completes: inherited
+    deadlines are fixed at enqueue while later arrivals' origins only
+    grow, so no task's key stays above the rest forever."""
+    loop = EventLoop()
+    core = Core(loop, EDFScheduler(default_slo_ns=10 * MSEC),
+                ctx_switch_ns=500.0)
+    tasks = [DeadlinePacketTask(f"t{i}", slo_ns=ms * MSEC)
+             for i, ms in enumerate(slos_ms)]
+    for t in tasks:
+        core.add_task(t)
+
+    total = 0
+    for idx, offset_us, burst in sorted(pushes, key=lambda p: p[1]):
+        loop.run_until(offset_us * USEC)
+        task = tasks[idx % len(tasks)]
+        for _ in range(burst):
+            task.push(loop.now)
+        total += burst
+        core.wake(task)
+
+    # Drain: ample horizon, re-wake in case a wake was lost.
+    loop.run_until(loop.now + 200 * MSEC)
+    for t in tasks:
+        core.wake(t)
+    loop.run_until(loop.now + 200 * MSEC)
+    for t in tasks:
+        assert not t.origins, f"{t.name} starved with {len(t.origins)} left"
+    assert sum(len(t.completed) for t in tasks) == total
+
+
+def test_edf_wake_preempts_on_earlier_deadline():
+    """A woken task holding an earlier inherited deadline preempts the
+    running one instead of waiting out its backlog."""
+    loop = EventLoop()
+    core = Core(loop, EDFScheduler(default_slo_ns=10 * MSEC),
+                ctx_switch_ns=0.0)
+    late = DeadlinePacketTask("late", slo_ns=50 * MSEC, service_ns=100 * USEC)
+    early = DeadlinePacketTask("early", slo_ns=100 * USEC,
+                               service_ns=10 * USEC)
+    core.add_task(late)
+    core.add_task(early)
+    for _ in range(100):            # 10 ms of backlog
+        late.push(0)
+    core.wake(late)
+    loop.run_until(200 * USEC)
+    assert core.current is late
+
+    early.push(loop.now)
+    core.wake(early)
+    loop.run_until(loop.now + 50 * USEC)
+    assert early.completed, "earlier deadline did not jump the line"
+    assert late.origins, "late backlog should still be pending"

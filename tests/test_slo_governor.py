@@ -1,0 +1,198 @@
+"""SLO-miss projection and the deadline governor's control actions.
+
+The projection predicate and the governor's boost/migrate/decay state
+machine are driven here with *synthetic* percentile snapshots — the
+``chain_p99_us``/``chain_occupancy`` telemetry reads are the documented
+override points — so each control decision is tested against exact
+inputs, including the boundary where p99 exactly equals the SLO.
+"""
+
+from repro.core.monitor import SLOGovernor
+from repro.core.nf import NFProcess
+from repro.nfs.cost_models import FixedCost
+from repro.platform.manager import NFManager
+from repro.platform.packet import Flow
+from repro.sched.deadline import project_slo_miss
+from repro.sim.clock import MSEC, USEC
+
+
+# ----------------------------------------------------------------------
+# project_slo_miss: the pure predicate
+# ----------------------------------------------------------------------
+class TestProjectSLOMiss:
+    def test_p99_above_slo_is_a_miss(self):
+        assert project_slo_miss(501.0, 500.0, occupancy=0.0)
+
+    def test_p99_exactly_at_slo_is_compliant(self):
+        """The boundary: an SLO is an upper bound, p99 == SLO meets it."""
+        assert not project_slo_miss(500.0, 500.0, occupancy=0.0)
+        # ... even with a full ring: the predictive branch needs p99
+        # strictly above the headroom fraction *and* p99 <= slo here is
+        # irrelevant — 500.0 > 0.8 * 500.0, so occupancy tips it over.
+        assert project_slo_miss(500.0, 500.0, occupancy=1.0)
+
+    def test_predictive_branch_needs_both_signals(self):
+        # Inside headroom but ring backed up -> projected miss.
+        assert project_slo_miss(450.0, 500.0, occupancy=0.6)
+        # Same latency, calm ring -> no miss.
+        assert not project_slo_miss(450.0, 500.0, occupancy=0.4)
+        # Backed-up ring but latency well under headroom -> no miss.
+        assert not project_slo_miss(300.0, 500.0, occupancy=0.9)
+
+    def test_occupancy_threshold_boundary(self):
+        assert project_slo_miss(450.0, 500.0, occupancy=0.5)
+        assert not project_slo_miss(450.0, 500.0, occupancy=0.499)
+
+    def test_degenerate_slo_never_misses(self):
+        assert not project_slo_miss(100.0, 0.0, occupancy=1.0)
+        assert not project_slo_miss(100.0, -1.0, occupancy=1.0)
+
+
+# ----------------------------------------------------------------------
+# Governor state machine over synthetic snapshots
+# ----------------------------------------------------------------------
+class SyntheticGovernor(SLOGovernor):
+    """Governor whose telemetry comes from test-scripted dicts."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.p99_script = {}
+        self.occupancy_script = {}
+
+    def chain_p99_us(self, chain_name):
+        return self.p99_script.get(chain_name, 0.0)
+
+    def chain_occupancy(self, chain):
+        return self.occupancy_script.get(chain.name, 0.0)
+
+
+def build_manager(loop, config):
+    mgr = NFManager(loop, scheduler="DEADLINE", config=config)
+    nfs = [mgr.add_nf(NFProcess(f"nf{i}", FixedCost(200), config=config))
+           for i in range(2)]
+    chain = mgr.add_chain("gold", nfs)
+    flow = Flow("f0", slo_ns=500 * USEC)
+    mgr.install_flow(flow, chain)
+    return mgr, nfs, chain, flow
+
+
+def make_governor(mgr, spare=(1,), **kwargs):
+    kwargs.setdefault("migrate_after", 3)
+    kwargs.setdefault("cooldown", 2)
+    return SyntheticGovernor(mgr, {"gold": 500 * USEC},
+                             spare_cores=list(spare), **kwargs)
+
+
+class TestGovernorControl:
+    def test_p99_at_slo_never_boosts(self, loop, config):
+        mgr, nfs, chain, flow = build_manager(loop, config)
+        gov = make_governor(mgr)
+        gov.p99_script["gold"] = 500.0      # exactly the SLO
+        for t in range(5):
+            gov.evaluate(t * MSEC)
+        assert gov.misses == 0
+        assert gov.boost == {}
+        assert gov.events == []
+        assert all(gov.priority_factor(nf) == 1.0 for nf in nfs)
+
+    def test_miss_boosts_and_caps(self, loop, config):
+        mgr, nfs, chain, flow = build_manager(loop, config)
+        gov = make_governor(mgr, spare=(), boost_step=2.0, boost_max=8.0)
+        gov.p99_script["gold"] = 900.0
+        for t in range(5):
+            gov.evaluate(t * MSEC)
+        assert gov.misses == 5
+        assert gov.boost["gold"] == 8.0     # 2 -> 4 -> 8, capped
+        assert all(gov.priority_factor(nf) == 8.0 for nf in nfs)
+        kinds = [e["kind"] for e in gov.events]
+        assert kinds == ["boost", "boost", "boost"]
+
+    def test_migration_after_consecutive_misses(self, loop, config):
+        mgr, nfs, chain, flow = build_manager(loop, config)
+        gov = make_governor(mgr, migrate_after=3)
+        gov.p99_script["gold"] = 900.0
+        # Back up nf1's ring so it is unambiguously the bottleneck.
+        nfs[1].rx_ring.enqueue(Flow("junk"), 32, 0)
+
+        gov.evaluate(0)
+        gov.evaluate(MSEC)
+        assert gov.migrations == 0          # streak of 2: not yet
+        gov.evaluate(2 * MSEC)
+        assert gov.migrations == 1
+        assert nfs[1].core.core_id == 1     # moved to the spare core
+        assert nfs[0].core.core_id == 0
+        moves = [e for e in gov.events if e["kind"] == "migrate"]
+        assert moves and moves[0]["nf"] == "nf1"
+
+    def test_interrupted_streak_does_not_migrate(self, loop, config):
+        mgr, nfs, chain, flow = build_manager(loop, config)
+        gov = make_governor(mgr, migrate_after=3)
+        for t, p99 in enumerate([900.0, 900.0, 100.0, 900.0, 900.0]):
+            gov.p99_script["gold"] = p99
+            gov.evaluate(t * MSEC)
+        assert gov.migrations == 0          # never 3 misses in a row
+
+    def test_no_spare_cores_means_no_migration(self, loop, config):
+        mgr, nfs, chain, flow = build_manager(loop, config)
+        gov = make_governor(mgr, spare=())
+        gov.p99_script["gold"] = 900.0
+        for t in range(6):
+            gov.evaluate(t * MSEC)
+        assert gov.migrations == 0
+        assert {nf.core.core_id for nf in nfs} == {0}
+
+    def test_boost_decays_after_cooldown(self, loop, config):
+        mgr, nfs, chain, flow = build_manager(loop, config)
+        gov = make_governor(mgr, spare=(), cooldown=2)
+        gov.p99_script["gold"] = 900.0
+        gov.evaluate(0)
+        gov.evaluate(MSEC)
+        assert gov.boost["gold"] == 4.0
+        gov.p99_script["gold"] = 100.0      # recovered
+        gov.evaluate(2 * MSEC)
+        assert gov.boost["gold"] == 4.0     # one compliant check: hold
+        gov.evaluate(3 * MSEC)
+        assert gov.boost["gold"] == 2.0     # cooldown reached: decay
+        gov.evaluate(4 * MSEC)
+        gov.evaluate(5 * MSEC)
+        assert "gold" not in gov.boost      # fully recovered
+        assert gov.priority_factor(nfs[0]) == 1.0
+
+    def test_summary_shape(self, loop, config):
+        mgr, nfs, chain, flow = build_manager(loop, config)
+        gov = make_governor(mgr)
+        gov.p99_script["gold"] = 900.0
+        gov.evaluate(0)
+        summary = gov.summary()
+        assert summary["targets_us"] == {"gold": 500.0}
+        assert summary["checks"] == 1
+        assert summary["misses"] == 1
+        assert summary["boost"] == {"gold": 2.0}
+
+
+# ----------------------------------------------------------------------
+# migrate_nf mechanics
+# ----------------------------------------------------------------------
+class TestMigrateNF:
+    def test_moves_task_between_cores(self, loop, config):
+        mgr, nfs, chain, flow = build_manager(loop, config)
+        mgr.start()
+        nf = nfs[1]
+        old_core = nf.core
+        assert mgr.migrate_nf(nf, 2)
+        assert nf.core.core_id == 2
+        assert nf not in old_core.tasks
+        assert nf in mgr.core(2).tasks
+
+    def test_same_core_is_a_noop(self, loop, config):
+        mgr, nfs, chain, flow = build_manager(loop, config)
+        assert not mgr.migrate_nf(nfs[0], 0)
+        assert nfs[0].core.core_id == 0
+
+    def test_migrated_nf_still_serves_traffic(self, loop, config):
+        mgr, nfs, chain, flow = build_manager(loop, config)
+        mgr.start()
+        assert mgr.migrate_nf(nfs[1], 3)
+        mgr.nic.rx_ring.enqueue(flow, 64, loop.now)
+        loop.run_until(loop.now + 50 * MSEC)
+        assert chain.completed == 64

@@ -152,3 +152,134 @@ class TestTCP:
         spec = self._spec(loop)
         tcp = TCPFlow(loop, spec)
         assert spec.flow.tcp is tcp
+
+
+class TestArrivalModels:
+    """Heavy-tailed/bursty models: PR 4's batch + RNG-rewind contract."""
+
+    MODELS = ("pareto_onoff", "mmpp", "flash_crowd")
+    TICK = 100 * USEC
+
+    def _counts_scalar(self, pattern, seed, n_ticks, rate=100_000.0,
+                       rate_change=None):
+        """Reference stream: one unbatched draw per tick."""
+        rng = np.random.default_rng(seed)
+        spec = FlowSpec(Flow("f"), rate, pattern=pattern)
+        out = []
+        for i in range(n_ticks):
+            if rate_change is not None and i == rate_change[0]:
+                spec.rate_pps = rate_change[1]
+            out.append(spec.packets_this_tick(self.TICK, rng))
+        return out
+
+    def _counts_batched(self, pattern, seed, n_ticks, rate=100_000.0,
+                        rate_change=None):
+        """Same stream served through the 256-tick batch machinery."""
+        rng = np.random.default_rng(seed)
+        spec = FlowSpec(Flow("f"), rate, pattern=pattern)
+        out = []
+        for i in range(n_ticks):
+            if rate_change is not None and i == rate_change[0]:
+                spec.rate_pps = rate_change[1]
+            out.append(spec.next_count(self.TICK, rng, rng_batch=True))
+        return out
+
+    @pytest.mark.parametrize("pattern", MODELS)
+    def test_batched_matches_scalar(self, pattern):
+        scalar = self._counts_scalar(pattern, seed=7, n_ticks=1000)
+        batched = self._counts_batched(pattern, seed=7, n_ticks=1000)
+        assert batched == scalar
+        assert sum(scalar) > 0
+
+    @pytest.mark.parametrize("pattern", MODELS)
+    def test_rate_change_rewinds_rng_and_model_exactly(self, pattern):
+        """A mid-batch rate change (tick 137, deep inside the first
+        256-tick batch) rewinds the RNG *and* the model state to the
+        batch start and replays the consumed prefix: the emitted stream
+        still matches per-tick scalar draws bit for bit."""
+        change = (137, 250_000.0)
+        scalar = self._counts_scalar(pattern, seed=11, n_ticks=1000,
+                                     rate_change=change)
+        batched = self._counts_batched(pattern, seed=11, n_ticks=1000,
+                                       rate_change=change)
+        assert batched == scalar
+
+    @pytest.mark.parametrize("pattern", MODELS)
+    def test_rerun_is_bit_identical(self, pattern):
+        a = self._counts_batched(pattern, seed=3, n_ticks=600)
+        b = self._counts_batched(pattern, seed=3, n_ticks=600)
+        assert a == b
+        assert a != self._counts_batched(pattern, seed=4, n_ticks=600)
+
+    @pytest.mark.parametrize("pattern", MODELS)
+    def test_snapshot_restore_replays_identically(self, pattern):
+        from repro.traffic.arrivals import make_arrival_model
+
+        rng = np.random.default_rng(5)
+        model = make_arrival_model(pattern)
+        model.draw(100_000.0, self.TICK, 300, rng)   # advance into a phase
+        state = model.snapshot()
+        rng_state = rng.bit_generator.state
+        first = model.draw(100_000.0, self.TICK, 200, rng)
+        model.restore(state)
+        rng.bit_generator.state = rng_state
+        again = model.draw(100_000.0, self.TICK, 200, rng)
+        assert first == again
+
+    def test_mmpp_long_run_mean_matches_rate(self):
+        # 2 simulated seconds at 100 kpps: the normalised intensity
+        # factors must keep the long-run average at rate_pps.
+        counts = self._counts_batched("mmpp", seed=1, n_ticks=20_000)
+        assert sum(counts) == pytest.approx(200_000, rel=0.15)
+
+    def test_pareto_onoff_silent_while_off(self):
+        counts = self._counts_batched("pareto_onoff", seed=2, n_ticks=5000)
+        assert 0 in counts           # OFF phases exist
+        assert max(counts) > 100_000 * self.TICK / 1e9  # boosted ON rate
+
+    def test_flash_crowd_envelope_shape(self):
+        from repro.traffic.arrivals import FlashCrowd
+
+        model = FlashCrowd(start_s=0.01, ramp_s=0.01, hold_s=0.02,
+                           peak_factor=5.0)
+        assert model.factor_at(0.0) == 1.0
+        assert model.factor_at(0.015) == pytest.approx(3.0)   # mid-ramp
+        assert model.factor_at(0.025) == 5.0                  # hold
+        assert model.factor_at(1.0) == 1.0                    # decayed
+
+    def test_unknown_pattern_raises(self):
+        from repro.traffic.arrivals import make_arrival_model
+
+        with pytest.raises(ValueError):
+            make_arrival_model("fractal_noise")
+        with pytest.raises(ValueError):
+            FlowSpec(Flow("f"), 1000, pattern="fractal_noise")
+
+    def test_model_params_validation(self):
+        from repro.traffic.arrivals import MMPP
+
+        spec = FlowSpec(Flow("f"), 1000, pattern="flash_crowd",
+                        model_params={"peak_factor": 8.0})
+        assert spec.model.peak_factor == 8.0
+        with pytest.raises(ValueError):
+            FlowSpec(Flow("f"), 1000, pattern="cbr",
+                     model_params={"peak_factor": 8.0})
+        with pytest.raises(ValueError):
+            FlowSpec(Flow("f"), 1000, model=MMPP(),
+                     model_params={"low_factor": 0.1})
+
+    def test_model_instance_sets_pattern_name(self):
+        from repro.traffic.arrivals import ParetoOnOff
+
+        spec = FlowSpec(Flow("f"), 1000, model=ParetoOnOff(alpha=1.2))
+        assert spec.pattern == "pareto_onoff"
+
+    def test_generator_disables_batching_with_two_rng_consumers(self, loop):
+        nic = NIC()
+        gen = TrafficGenerator(loop, nic, tick_ns=100 * USEC)
+        gen.add_flow(Flow("a"), rate_pps=1e5, pattern="mmpp")
+        assert gen._rng_batch
+        gen.add_flow(Flow("b"), rate_pps=1e5, pattern="poisson")
+        assert not gen._rng_batch
+        gen.add_flow(Flow("c"), rate_pps=1e5)      # CBR never counts
+        assert not gen._rng_batch
