@@ -106,8 +106,27 @@ class Sanitizer:
         self.runs = 0
         self._scenario: Optional[Any] = None
         self._run_violations: List[SanitizerViolation] = []
-        self._min_vruntime_seen: Dict[int, float] = {}
+        #: Keyed by core_id on a single-host scenario, by
+        #: ``(host, core_id)`` on a cluster.
+        self._min_vruntime_seen: Dict[Any, float] = {}
         self._tick_handle: Optional[Any] = None
+
+    @staticmethod
+    def _iter_managers(scenario: Any) -> Iterator[Tuple[str, Any]]:
+        """(subject prefix, NFManager) per platform of ``scenario``.
+
+        A single-host :class:`~repro.experiments.common.Scenario` has one
+        ``manager`` and an empty prefix (existing subjects unchanged); a
+        :class:`~repro.cluster.scenario.ClusterScenario` exposes a
+        ``topology`` whose hosts each carry a manager, prefixed with the
+        host name so a violating ring is attributable to its machine.
+        """
+        topology = getattr(scenario, "topology", None)
+        if topology is not None:
+            for host in topology.hosts:
+                yield f"{host.name}.", host.manager
+        else:
+            yield "", scenario.manager
 
     # ------------------------------------------------------------------
     # Run lifecycle (driven by Scenario.run)
@@ -131,11 +150,11 @@ class Sanitizer:
             self._run_violations = []
             self._min_vruntime_seen = {}
         now = scenario.loop.now
-        mgr = scenario.manager
         self._check_packet_conservation(scenario, now)
-        self._check_time_accounting(mgr, now)
-        self._check_vruntime(mgr, now)
-        self._check_rings(mgr, now)
+        for prefix, mgr in self._iter_managers(scenario):
+            self._check_time_accounting(mgr, now, prefix)
+            self._check_vruntime(mgr, now, prefix)
+            self._check_rings(mgr, now, prefix)
         self._check_non_negative(scenario, now)
         self.runs += 1
         out = self._run_violations
@@ -157,13 +176,14 @@ class Sanitizer:
         if scenario is None:
             return
         now = scenario.loop.now
-        mgr = scenario.manager
-        self._check_vruntime(mgr, now)
-        for name, ring in self._iter_rings(mgr):
-            if not 0 <= len(ring) <= ring.capacity:
-                self._report(
-                    "ring-occupancy", f"ring:{name}",
-                    f"depth {len(ring)} outside [0, {ring.capacity}]", now)
+        for prefix, mgr in self._iter_managers(scenario):
+            self._check_vruntime(mgr, now, prefix)
+            for name, ring in self._iter_rings(mgr):
+                if not 0 <= len(ring) <= ring.capacity:
+                    self._report(
+                        "ring-occupancy", f"ring:{prefix}{name}",
+                        f"depth {len(ring)} outside [0, {ring.capacity}]",
+                        now)
 
     @staticmethod
     def _iter_rings(mgr: Any) -> Iterator[Tuple[str, Any]]:
@@ -173,7 +193,6 @@ class Sanitizer:
             yield f"{nf.name}.tx", nf.tx_ring
 
     def _check_packet_conservation(self, scenario: Any, now: int) -> None:
-        mgr = scenario.manager
         delivered = entry = drops = offered = 0
         seen = set()
         for spec in scenario.generator.specs:
@@ -185,9 +204,17 @@ class Sanitizer:
             delivered += f.stats.delivered
             entry += f.stats.entry_discards
             drops += f.stats.queue_drops
-        unroutable = (mgr.rx_thread.unroutable
-                      if mgr.rx_thread is not None else 0)
-        in_flight = sum(len(ring) for _n, ring in self._iter_rings(mgr))
+        unroutable = in_flight = 0
+        for _prefix, mgr in self._iter_managers(scenario):
+            if mgr.rx_thread is not None:
+                unroutable += mgr.rx_thread.unroutable
+            in_flight += sum(
+                len(ring) for _n, ring in self._iter_rings(mgr))
+        topology = getattr(scenario, "topology", None)
+        if topology is not None:
+            # Packets serialising/propagating on fabric links are neither
+            # in a ring nor delivered yet: they are the wire's in-flight.
+            in_flight += sum(link.in_flight for link in topology.links)
         accounted = delivered + entry + drops + unroutable + in_flight
         if offered != accounted:
             self._report(
@@ -197,7 +224,8 @@ class Sanitizer:
                 f"unroutable {unroutable} + in_flight {in_flight} "
                 f"(= {accounted})", now)
 
-    def _check_time_accounting(self, mgr: Any, now: int) -> None:
+    def _check_time_accounting(self, mgr: Any, now: int,
+                               prefix: str = "") -> None:
         for core_id, core in sorted(mgr.cores.items()):
             s = core.stats
             for label, value in (("busy_ns", s.busy_ns),
@@ -205,33 +233,36 @@ class Sanitizer:
                                  ("idle_ns", s.idle_ns)):
                 if not isinstance(value, int):
                     self._report(
-                        "time-accounting", f"core:{core_id}",
+                        "time-accounting", f"core:{prefix}{core_id}",
                         f"{label} is {type(value).__name__}, not int "
                         f"(exactness requires integer nanoseconds)", now)
             lifetime = now - core.epoch_ns
             total = s.busy_ns + s.overhead_ns + s.idle_ns
             if total != lifetime:
                 self._report(
-                    "time-accounting", f"core:{core_id}",
+                    "time-accounting", f"core:{prefix}{core_id}",
                     f"busy {s.busy_ns} + overhead {s.overhead_ns} + "
                     f"idle {s.idle_ns} = {total} != lifetime {lifetime}",
                     now)
 
-    def _check_vruntime(self, mgr: Any, now: int) -> None:
+    def _check_vruntime(self, mgr: Any, now: int, prefix: str = "") -> None:
         for core_id, core in sorted(mgr.cores.items()):
             min_vr = getattr(core.scheduler, "min_vruntime", None)
             if min_vr is None:
                 continue
-            seen = self._min_vruntime_seen.get(core_id)
+            # Plain core_id key on a single host (back-compat with
+            # callers priming the dict); (host, core) on a cluster.
+            key: Any = (prefix, core_id) if prefix else core_id
+            seen = self._min_vruntime_seen.get(key)
             if seen is not None and min_vr < seen:
                 self._report(
-                    "vruntime-monotonic", f"core:{core_id}",
+                    "vruntime-monotonic", f"core:{prefix}{core_id}",
                     f"min_vruntime decreased {seen!r} -> {min_vr!r}", now)
-            self._min_vruntime_seen[core_id] = min_vr
+            self._min_vruntime_seen[key] = min_vr
 
-    def _check_rings(self, mgr: Any, now: int) -> None:
+    def _check_rings(self, mgr: Any, now: int, prefix: str = "") -> None:
         for name, ring in self._iter_rings(mgr):
-            subject = f"ring:{name}"
+            subject = f"ring:{prefix}{name}"
             depth = len(ring)
             if not 0 <= depth <= ring.capacity:
                 self._report(
@@ -252,37 +283,53 @@ class Sanitizer:
                     f"sum(drops_by_reason) {by_reason}", now)
 
     def _check_non_negative(self, scenario: Any, now: int) -> None:
-        mgr = scenario.manager
         counters: List[Tuple[str, str, Any]] = []
-        for core_id, core in sorted(mgr.cores.items()):
-            s = core.stats
-            counters += [
-                (f"core:{core_id}", "busy_ns", s.busy_ns),
-                (f"core:{core_id}", "overhead_ns", s.overhead_ns),
-                (f"core:{core_id}", "idle_ns", s.idle_ns),
-                (f"core:{core_id}", "dispatches", s.dispatches),
-            ]
-        for nf in mgr.nfs:
-            t = nf.stats
-            counters += [
-                (f"nf:{nf.name}", "runtime_ns", t.runtime_ns),
-                (f"nf:{nf.name}", "voluntary_switches",
-                 t.voluntary_switches),
-                (f"nf:{nf.name}", "involuntary_switches",
-                 t.involuntary_switches),
-                (f"nf:{nf.name}", "processed_packets", nf.processed_packets),
-                (f"nf:{nf.name}", "wasted_processed", nf.wasted_processed),
-            ]
-        for name, ring in self._iter_rings(mgr):
-            counters += [
-                (f"ring:{name}", "enqueued_total", ring.enqueued_total),
-                (f"ring:{name}", "dequeued_total", ring.dequeued_total),
-                (f"ring:{name}", "dropped_total", ring.dropped_total),
-            ]
-            counters += [
-                (f"ring:{name}", f"drops[{reason}]", count)
-                for reason, count in sorted(ring.drops_by_reason.items())
-            ]
+        for prefix, mgr in self._iter_managers(scenario):
+            for core_id, core in sorted(mgr.cores.items()):
+                s = core.stats
+                subject = f"core:{prefix}{core_id}"
+                counters += [
+                    (subject, "busy_ns", s.busy_ns),
+                    (subject, "overhead_ns", s.overhead_ns),
+                    (subject, "idle_ns", s.idle_ns),
+                    (subject, "dispatches", s.dispatches),
+                ]
+            for nf in mgr.nfs:
+                t = nf.stats
+                counters += [
+                    (f"nf:{nf.name}", "runtime_ns", t.runtime_ns),
+                    (f"nf:{nf.name}", "voluntary_switches",
+                     t.voluntary_switches),
+                    (f"nf:{nf.name}", "involuntary_switches",
+                     t.involuntary_switches),
+                    (f"nf:{nf.name}", "processed_packets",
+                     nf.processed_packets),
+                    (f"nf:{nf.name}", "wasted_processed",
+                     nf.wasted_processed),
+                ]
+            for name, ring in self._iter_rings(mgr):
+                counters += [
+                    (f"ring:{prefix}{name}", "enqueued_total",
+                     ring.enqueued_total),
+                    (f"ring:{prefix}{name}", "dequeued_total",
+                     ring.dequeued_total),
+                    (f"ring:{prefix}{name}", "dropped_total",
+                     ring.dropped_total),
+                ]
+                counters += [
+                    (f"ring:{prefix}{name}", f"drops[{reason}]", count)
+                    for reason, count in sorted(ring.drops_by_reason.items())
+                ]
+        topology = getattr(scenario, "topology", None)
+        if topology is not None:
+            for link in topology.links:
+                counters += [
+                    (f"link:{link.name}", "carried_packets",
+                     link.carried_packets),
+                    (f"link:{link.name}", "dropped_packets",
+                     link.dropped_packets),
+                    (f"link:{link.name}", "in_flight", link.in_flight),
+                ]
         for spec in scenario.generator.specs:
             st = spec.flow.stats
             counters += [

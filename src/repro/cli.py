@@ -69,6 +69,9 @@ EXPERIMENTS: Dict[str, tuple] = {
                        "Chaos: fault kind x detection x recovery policy"),
     "slo_battery": ("repro.experiments.slo_battery",
                     "SLO battery: bursty/flash/mixed x NORMAL/EDF/DEADLINE"),
+    "cluster_scaling": ("repro.experiments.cluster_scaling",
+                        "Cluster: flash/mmpp x 2/4/8 hosts x auto/static "
+                        "VNF scaling"),
 }
 
 

@@ -326,6 +326,26 @@ class MonitorThread:
     def arrival_rate_pps(self, nf: NFProcess) -> float:
         return self._arrival_ewma_pps.get(nf.name, 0.0)
 
+    def cluster_snapshot(self, now_ns: int) -> Dict[str, Dict[str, float]]:
+        """Per-NF telemetry for cluster-level control loops.
+
+        The :class:`repro.cluster.autoscaler.Autoscaler` polls this each
+        evaluation period: arrival-rate EWMA, dimensionless CPU demand
+        and Rx-ring fill fraction per live NF.  Read-only — the snapshot
+        is computed from the same state the weight loop uses, so a
+        cluster controller sees exactly what the per-host Monitor sees.
+        """
+        snap: Dict[str, Dict[str, float]] = {}
+        for nf in self.nfs:
+            if nf.core is None or nf.failed:
+                continue
+            snap[nf.name] = {
+                "arrival_pps": self._arrival_ewma_pps.get(nf.name, 0.0),
+                "load": self.load_of(nf, now_ns),
+                "rx_occupancy": nf.rx_ring.occupancy(),
+            }
+        return snap
+
     def load_of(self, nf: NFProcess, now_ns: int) -> float:
         """load(i) = lambda_i * s_i, a dimensionless CPU demand."""
         lam = self._arrival_ewma_pps.get(nf.name, 0.0)

@@ -288,6 +288,16 @@ class FaultInjector:
     def on_suspect(self, nf: "NFProcess", now_ns: int) -> None:
         """Watchdog callback: route a suspicion to the recovery policy."""
         inc = self._active.get(nf.name)
+        if inc is None and nf.core is not None:
+            # An NF migrated onto a core *after* that core's failure was
+            # injected is not in the incident's resident-task snapshot.
+            # Adopt it into the open core incident so recovery covers the
+            # migrant instead of discarding the suspicion as noise.
+            core_inc = self._active.get(f"core:{nf.core.core_id}")
+            if core_inc is not None:
+                self._active[nf.name] = core_inc
+                core_inc.width += 1
+                inc = core_inc
         if inc is None:
             # Suspicion without an injected fault: a watchdog false
             # positive.  Counted, not acted on — restarting a healthy NF

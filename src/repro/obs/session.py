@@ -113,6 +113,76 @@ class ObsSession:
         sampler.start()
         self._samplers.append(sampler)
 
+    def attach_cluster(self, scenario) -> None:
+        """Wire this session into a ClusterScenario about to run.
+
+        Each host's platform registers its gauges under a
+        ``cluster<N>/<sched>/<features>/<host>`` scenario label; the
+        fabric links register under the bare cluster label.  One event
+        bus spans the whole cluster (all hosts share one loop, so one
+        Perfetto process with every host's cores is the honest render);
+        link drop/ECN events ride the same bus.  Snapshot streaming is
+        not wired for clusters — the streamer's per-scenario registration
+        assumes one manager per label.
+        """
+        topology = scenario.topology
+        label = self._unique_label(
+            f"cluster{len(topology.hosts)}/"
+            f"{scenario.scheduler}/{scenario.features}")
+        bus: Optional[EventBus] = None
+        if self.trace_path is not None:
+            bus = EventBus(scenario.loop, max_events=self.max_bus_events)
+            self.buses.append((label, bus))
+        for host in topology.hosts:
+            host.manager.attach_observability(bus=bus, spans=self.spans)
+            self.register_platform_metrics(
+                host.manager, f"{label}/{host.name}")
+            sampler = RegistrySampler(
+                scenario.loop, self.registry,
+                period_ns=self.sample_period_ns,
+                label_filter={"scenario": f"{label}/{host.name}"})
+            sampler.start()
+            self._samplers.append(sampler)
+        if bus is not None:
+            for link in topology.links:
+                link.bus = bus
+        self.register_link_metrics(topology.links, label)
+        sampler = RegistrySampler(scenario.loop, self.registry,
+                                  period_ns=self.sample_period_ns,
+                                  label_filter={"scenario": label})
+        sampler.start()
+        self._samplers.append(sampler)
+
+    def register_link_metrics(self, links, scenario: str) -> None:
+        """Expose fabric-link counters as labelled metrics.
+
+        The ``link`` label carries the raw link name (``ingress->h1``,
+        ``h0.nic->h1``); the Prometheus exporter escapes label values, so
+        arbitrary host/link names survive the text format round-trip.
+        """
+        reg = self.registry
+        for link in links:
+            reg.gauge("repro_link_in_flight",
+                      "packets serialising or propagating on the wire",
+                      fn=(lambda l=link: l.in_flight),
+                      link=link.name, scenario=scenario)
+            reg.counter("repro_link_carried_packets_total",
+                        "packets accepted onto the link",
+                        fn=(lambda l=link: l.carried_packets),
+                        link=link.name, scenario=scenario)
+            reg.counter("repro_link_carried_bytes_total",
+                        "payload bytes accepted onto the link",
+                        fn=(lambda l=link: l.carried_bytes),
+                        link=link.name, scenario=scenario)
+            reg.counter("repro_link_dropped_packets_total",
+                        "packets dropped at the link queue cap",
+                        fn=(lambda l=link: l.dropped_packets),
+                        link=link.name, scenario=scenario)
+            reg.counter("repro_link_ecn_marked_total",
+                        "packets CE-marked by the link's ECN threshold",
+                        fn=(lambda l=link: l.ecn_marked),
+                        link=link.name, scenario=scenario)
+
     def register_platform_metrics(self, mgr: "NFManager",
                                   scenario: str) -> None:
         """Expose the platform's live counters as labelled gauges.

@@ -121,7 +121,14 @@ class NFManager:
         scaled-out replica, a replacement instance) is announced to the
         wakeup scan, the monitor and the least-loaded Tx thread so it
         becomes a first-class platform citizen on the next tick.
+
+        Names must be unique: :meth:`nf_by_name` and the Monitor's per-NF
+        bookkeeping key on them, so a duplicate would silently shadow the
+        earlier instance.
         """
+        for existing in self.nfs:
+            if existing.name == nf.name:
+                raise ValueError(f"duplicate NF name {nf.name!r}")
         self.core(core_id).add_task(nf)
         self.nfs.append(nf)
         if self.bus is not None:

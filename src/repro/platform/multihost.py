@@ -13,20 +13,26 @@ cap) into the downstream host's NIC, where the flow's *next* chain segment
 takes over.  ECN CE marks applied on either host accumulate on the shared
 :class:`~repro.platform.packet.Flow`, so the sender sees congestion from
 any hop.
+
+The wire itself is a :class:`repro.cluster.fabric.FabricLink` — the same
+serialisation/propagation model the N-host cluster topology
+(:mod:`repro.cluster`) builds arbitrary link graphs from; ``HostLink``
+adds the egress tap and the per-host flow-twin bookkeeping of the
+pairwise §3.3 setup on top.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.cluster.fabric import FabricLink
 from repro.platform.manager import NFManager
-from repro.platform.nic import WIRE_OVERHEAD_BYTES
 from repro.platform.packet import Flow, PacketSegment
-from repro.sim.clock import SEC, USEC
+from repro.sim.clock import USEC
 from repro.sim.engine import EventLoop
 
 
-class HostLink:
+class HostLink(FabricLink):
     """A point-to-point wire from one host's egress to another's ingress.
 
     Only flows explicitly mapped with :meth:`connect_flow` are carried;
@@ -40,19 +46,24 @@ class HostLink:
         downstream: NFManager,
         latency_ns: int = 10 * USEC,
         link_bps: float = 10e9,
+        queue_cap_pkts: Optional[int] = None,
+        ecn_mark_pkts: Optional[int] = None,
     ):
         if upstream is downstream:
             raise ValueError("a host link needs two distinct hosts")
-        self.loop = loop
+        super().__init__(
+            loop,
+            name=f"{upstream.nic.name}->{downstream.nic.name}",
+            deliver=self._deliver,
+            latency_ns=latency_ns,
+            link_bps=link_bps,
+            queue_cap_pkts=queue_cap_pkts,
+            ecn_mark_pkts=ecn_mark_pkts,
+        )
         self.upstream = upstream
         self.downstream = downstream
-        self.latency_ns = int(latency_ns)
-        self.link_bps = float(link_bps)
         #: upstream flow_id -> the downstream host's twin Flow object.
         self._carried_flows: Dict[str, Flow] = {}
-        self._busy_until: float = 0.0
-        self.carried_packets = 0
-        self.carried_bytes = 0
         if upstream.nic.on_transmit is not None:
             raise ValueError("upstream NIC already has an egress tap")
         upstream.nic.on_transmit = self._on_egress
@@ -77,24 +88,14 @@ class HostLink:
         flow = self._carried_flows.get(segment.flow.flow_id)
         if flow is None:
             return
-        # Serialise onto the wire (link-rate cap), then propagate.
-        wire_bits = segment.count * (flow.pkt_size + WIRE_OVERHEAD_BYTES) * 8
-        start = max(float(self.loop.now), self._busy_until)
-        done = start + wire_bits * SEC / self.link_bps
-        self._busy_until = done
-        arrival = done + self.latency_ns
-        self.carried_packets += segment.count
-        self.carried_bytes += segment.count * flow.pkt_size
-        count = segment.count
-        origin = segment.origin_ns
+        self.send(flow, segment.count, self.loop.now,
+                  origin_ns=segment.origin_ns)
 
-        def deliver() -> None:
-            # Re-originates queueing accounting on the far host but keeps
-            # the end-to-end origin stamp for whole-path latency.
-            self.downstream.nic.rx_ring.enqueue(
-                flow, count, self.loop.now, origin_ns=origin)
-
-        self.loop.call_at(arrival, deliver)
+    def _deliver(self, flow: Flow, count: int, origin_ns: int) -> None:
+        # Re-originates queueing accounting on the far host but keeps
+        # the end-to-end origin stamp for whole-path latency.
+        self.downstream.nic.rx_ring.enqueue(
+            flow, count, self.loop.now, origin_ns=origin_ns)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"HostLink({self.upstream.nic.name} -> "

@@ -143,6 +143,80 @@ def test_detects_capacity_bound_violation():
 
 
 # ----------------------------------------------------------------------
+# Multi-host scenarios: every check walks all hosts and the fabric
+# ----------------------------------------------------------------------
+def cluster_run(duration_s=0.02):
+    from repro.cluster import ClusterScenario
+
+    scenario = ClusterScenario(
+        n_hosts=2, scheduler="NORMAL", features="NFVnice", seed=5)
+    scenario.add_slo_class("gold", 500.0)
+    scenario.set_chain("svc", (120.0, 270.0), slo_us=500.0,
+                       placements=((0, 0), (1, 0)))
+    scenario.add_flow("f0", rate_pps=100_000.0, slo_class="gold")
+    scenario.add_flow("f1", rate_pps=100_000.0, slo_class="gold")
+    result = scenario.run(duration_s)
+    return scenario, result
+
+
+def test_cluster_clean_run_reports_zero_violations():
+    sanitizer = Sanitizer(per_tick=True)
+    activate_sanitizer(sanitizer)
+    try:
+        _scenario, result = cluster_run()
+    finally:
+        deactivate_sanitizer()
+    assert result.sanitizer_violations == []
+    assert sanitizer.violations == []
+
+
+def test_cluster_violations_name_the_host():
+    scenario, _result = cluster_run()
+    host = scenario.topology.hosts[1]
+    host.manager.nfs[0].rx_ring.enqueued_total += 1
+    violations = Sanitizer().finish_run(scenario)
+    subjects = {v.subject for v in violations
+                if v.check == "ring-occupancy"}
+    assert subjects and all(s.startswith("ring:h1.") for s in subjects)
+
+
+def test_cluster_conservation_includes_fabric_in_flight():
+    scenario, _result = cluster_run()
+    # Pretend a packet evaporated off a fabric link: conservation breaks.
+    scenario.topology.links[0].in_flight += 1
+    violations = Sanitizer().finish_run(scenario)
+    assert "packet-conservation" in checks_of(violations)
+
+
+def test_migrate_across_core_fail_is_sanitizer_clean():
+    """Orchestrated migration onto a core a fault plan then kills: the
+    warm restart must leave every invariant intact on all hosts."""
+    from repro.faults.plan import FaultPlan, FaultSpec
+
+    sanitizer = Sanitizer(per_tick=True)
+    activate_sanitizer(sanitizer)
+    try:
+        scenario = Scenario(scheduler="NORMAL", features="NFVnice", seed=7)
+        scenario.add_nf("nf0", 120, core=0)
+        scenario.add_nf("nf1", 270, core=0)
+        scenario.add_chain("chain0", ["nf0", "nf1"])
+        scenario.add_flow("flow0", "chain0", rate_pps=50_000.0)
+        scenario.attach_faults(FaultPlan(
+            specs=[FaultSpec(kind="core_fail", target="2", at_s=0.010)],
+            policy="restart-warm", detection_period_s=0.002,
+            restart_delay_s=0.001))
+        mgr = scenario.manager
+        nf1 = mgr.nf_by_name("nf1")
+        mgr.loop.call_at(5_000_000, lambda: mgr.migrate_nf(nf1, 2))
+        result = scenario.run(0.05)
+    finally:
+        deactivate_sanitizer()
+    assert result.sanitizer_violations == []
+    assert not nf1.failed
+    assert nf1.core is not None and not nf1.core.failed
+
+
+# ----------------------------------------------------------------------
 # Serialisation
 # ----------------------------------------------------------------------
 def test_violation_dict_roundtrip():

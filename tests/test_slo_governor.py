@@ -196,3 +196,102 @@ class TestMigrateNF:
         mgr.nic.rx_ring.enqueue(flow, 64, loop.now)
         loop.run_until(loop.now + 50 * MSEC)
         assert chain.completed == 64
+
+
+# ----------------------------------------------------------------------
+# migrate_nf x fault plans: the migration target fails mid-run
+# ----------------------------------------------------------------------
+class TestMigrateAcrossCoreFail:
+    def build(self, loop, config, policy="restart-warm"):
+        from repro.faults.plan import FaultPlan, FaultSpec
+
+        mgr, nfs, chain, flow = build_manager(loop, config)
+        # Core 2 — the migration target of these tests — dies 10 ms in.
+        plan = FaultPlan(
+            specs=[FaultSpec(kind="core_fail", target="2", at_s=0.010)],
+            policy=policy, detection_period_s=0.002,
+            restart_delay_s=0.001)
+        mgr.attach_faults(plan)
+        return mgr, nfs, chain, flow
+
+    def drive(self, loop, mgr, flow, until_ms=60, batch=16):
+        """Steady arrivals that stop 10 ms before the horizon, so a
+        recovered platform finishes the run fully drained."""
+        stop_ns = loop.now + (until_ms - 10) * MSEC
+
+        def pump():
+            if loop.now <= stop_ns:
+                mgr.nic.rx_ring.enqueue(flow, batch, loop.now)
+
+        loop.call_every(MSEC, pump)
+        loop.run_until(loop.now + until_ms * MSEC)
+
+    def conservation(self, mgr, flow):
+        """Arrivals were enqueued straight into the NIC ring (no
+        generator), so "offered" is what that ring accepted plus what it
+        shed; every shed packet — NIC or NF ring — lands in the flow's
+        ``queue_drops``."""
+        in_flight = len(mgr.nic.rx_ring) + sum(
+            len(nf.rx_ring) + len(nf.tx_ring) for nf in mgr.nfs)
+        unroutable = mgr.rx_thread.unroutable if mgr.rx_thread else 0
+        stats = flow.stats
+        offered = (mgr.nic.rx_ring.enqueued_total
+                   + mgr.nic.rx_ring.dropped_total)
+        return offered, (stats.delivered + stats.entry_discards
+                         + stats.queue_drops + unroutable + in_flight)
+
+    def test_core_fail_on_migration_target_recovers(self, loop, config):
+        mgr, nfs, chain, flow = self.build(loop, config)
+        mgr.start()
+        assert mgr.migrate_nf(nfs[1], 2)
+        self.drive(loop, mgr, flow)
+        # The watchdog detected the dead core and restart-warm repaired
+        # it: the migrated NF is not stranded.
+        assert mgr.faults is not None
+        inc = mgr.faults.incidents[0]
+        assert inc.kind == "core_fail" and inc.recovered_ns is not None
+        assert nfs[1].core is not None
+        assert nfs[1].core.core_id == 2 and not nfs[1].core.failed
+        assert not nfs[1].failed
+        # Service resumed after the repair: far more completed than the
+        # ~10 ms of pre-outage arrivals, and the backlog fully drained.
+        assert chain.completed > 10 * 16
+        offered, accounted = self.conservation(mgr, flow)
+        assert offered == accounted
+        assert sum(len(nf.rx_ring) + len(nf.tx_ring)
+                   for nf in mgr.nfs) == 0
+
+    def test_core_fail_on_migration_target_conserves_packets(
+            self, loop, config):
+        mgr, nfs, chain, flow = self.build(loop, config)
+        mgr.start()
+        assert mgr.migrate_nf(nfs[1], 2)
+        self.drive(loop, mgr, flow)
+        offered, accounted = self.conservation(mgr, flow)
+        assert offered == accounted
+
+    def test_migrating_onto_an_already_failed_core_recovers(
+            self, loop, config):
+        """The race the other way: the core dies first, then the
+        orchestrator moves an NF onto it.  The migrant is not in the
+        incident's resident-task snapshot, so the injector must adopt it
+        into the open core incident rather than writing the watchdog's
+        suspicion off as a false alarm."""
+        mgr, nfs, chain, flow = self.build(loop, config)
+        mgr.core(2)       # exists (idle) when the fault plan fires
+        mgr.start()
+        loop.call_every(MSEC, lambda: mgr.nic.rx_ring.enqueue(
+            flow, 16, loop.now))
+        loop.run_until(12 * MSEC)            # core 2 is down by now
+        assert mgr.cores[2].failed
+        assert mgr.migrate_nf(nfs[1], 2)
+        self.drive(loop, mgr, flow, until_ms=60)
+        assert mgr.faults is not None
+        inc = mgr.faults.incidents[0]
+        assert inc.recovered_ns is not None
+        assert mgr.faults.false_alarms == 0
+        assert nfs[1].core is not None and not nfs[1].core.failed
+        assert not nfs[1].failed
+        assert chain.completed > 0
+        offered, accounted = self.conservation(mgr, flow)
+        assert offered == accounted
