@@ -1,21 +1,29 @@
-"""CI-gated performance benchmark suite.
+"""CI-gated performance benchmark suite (schema v2: per-engine).
 
 Runs a pinned set of experiments (the fig07, fig09 and fig16 short
-grids) serially and records, per experiment:
+grids, one SLO-battery cell and one 4-host cluster-scaling cell) under
+**both** event-loop engines (``heap`` and ``wheel``) and records, per
+experiment and per engine:
 
 * wall-clock seconds for the whole case grid,
 * simulation events processed and events/second (from the event loop's
   hygiene counters),
-* peak event-heap size across the grid,
+* peak pending events and wheel cascade count across the grid,
 * the combined result digest over every case (bit-stability check: a
   faster simulator must compute the *same* results).
 
+The digest is stored once per experiment because the engines are
+required to agree — a divergence is a correctness bug, and the suite
+fails immediately (with or without ``--check``) when the wheel and the
+heap disagree on any case.
+
 Results are written to ``benchmarks/BENCH_perf.json``.  With ``--check``
 the run is compared against the committed baseline instead: digests must
-match exactly, and wall-clock may not regress more than ``--tolerance``
-(default 25%) after scaling by the calibration score — a fixed pure-\
-Python microbenchmark that normalises for machine speed, so a slow CI
-runner does not read as a regression and a fast one does not mask it.
+match exactly, and per-engine wall-clock may not regress more than
+``--tolerance`` (default 25%) after scaling by that engine's calibration
+score — a fixed pure-Python microbenchmark that normalises for machine
+speed, so a slow CI runner does not read as a regression and a fast one
+does not mask it.
 
 Usage::
 
@@ -27,7 +35,8 @@ Usage::
 Environment: ``REPRO_PERF_DURATION`` overrides the simulated seconds per
 case (default 0.1); ``REPRO_PERF_PASSES`` the timing passes per grid
 (default 2 — the best pass is recorded, since the runs are
-deterministic and min is the least-noise estimator).
+deterministic and min is the least-noise estimator); ``REPRO_PERF_GRIDS``
+a comma-separated subset of experiment ids to run (smoke jobs).
 """
 
 from __future__ import annotations
@@ -44,43 +53,52 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.analysis.export import result_to_dict   # noqa: E402
 from repro.runner.digest import digest_of          # noqa: E402
+from repro.sim.engine import ENGINE_ENV            # noqa: E402
 
 #: The pinned grids: experiment id -> module path.  Short durations keep
-#: the whole suite under a minute while still exercising every scheduler
-#: and feature combination the canonical figures sweep.
+#: the whole suite under a few minutes while still exercising every
+#: scheduler and feature combination the canonical figures sweep, plus
+#: the SLO-governor and multi-host cluster subsystems.
 GRIDS = {
     "fig07": "repro.experiments.fig07_single_core_chain",
     "fig09": "repro.experiments.fig09_shared_chains",
     "fig16": "repro.experiments.fig16_chain_length",
+    "slo_battery": "repro.experiments.slo_battery",
+    "cluster_scaling": "repro.experiments.cluster_scaling",
 }
+
+#: Both engines always run: the suite is the cross-engine equivalence
+#: gate as much as it is the speed gate.
+ENGINES = ("heap", "wheel")
 
 DEFAULT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_perf.json")
 
 
-def calibrate(n: int = 200_000) -> float:
+class DigestDivergence(RuntimeError):
+    """The two engines produced different results for the same cases."""
+
+
+def calibrate(engine: str, n: int = 200_000) -> float:
     """Machine-speed score: events/second through a bare EventLoop.
 
     A fixed-size periodic-tick workload through the real event loop —
     the same interpreter-bound work the simulator spends its time on, so
-    the score moves with the machine the way the experiments do.
+    the score moves with the machine the way the experiments do.  Scored
+    per engine: the wheel's dispatch constant is its own baseline.
     """
     from repro.sim.engine import EventLoop
 
-    loop = EventLoop()
-    if hasattr(loop, "call_every"):
-        loop.call_every(10, lambda: None)
-    else:  # pre-fast-path engine (reference measurements)
-        def tick():
-            loop.call_at(loop.now + 10, tick)
-        loop.call_at(10, tick)
+    loop = EventLoop(impl=engine)
+    loop.call_every(10, lambda: None)
     t0 = time.perf_counter()
     loop.run_until(n * 10)
     elapsed = time.perf_counter() - t0
-    return getattr(loop, "pops", n) / elapsed
+    return loop.pops / elapsed
 
 
-def run_experiment(exp_id: str, duration_s: float, passes: int) -> dict:
-    """Run one experiment's campaign grid serially; return its record.
+def run_grid(exp_id: str, engine: str, duration_s: float,
+             passes: int) -> dict:
+    """Run one experiment's campaign grid serially under ``engine``.
 
     The grid is executed ``passes`` times and the *minimum* wall-clock is
     recorded — the runs are deterministic, so min is the least-noise
@@ -90,48 +108,114 @@ def run_experiment(exp_id: str, duration_s: float, passes: int) -> dict:
     mod = importlib.import_module(GRIDS[exp_id])
     cases = mod.campaign_cases(duration_s=duration_s)
     fns = [(case, getattr(mod, case.fn)) for case in cases]
-    walls = []
-    results = None
-    for _ in range(passes):
-        gc.collect()
-        t0 = time.perf_counter()
-        batch = [fn(**case.kwargs) for case, fn in fns]
-        walls.append(time.perf_counter() - t0)
-        results = batch
+    prev = os.environ.get(ENGINE_ENV)
+    os.environ[ENGINE_ENV] = engine
+    try:
+        walls = []
+        results = None
+        for _ in range(passes):
+            gc.collect()
+            t0 = time.perf_counter()
+            batch = [fn(**case.kwargs) for case, fn in fns]
+            walls.append(time.perf_counter() - t0)
+            results = batch
+    finally:
+        if prev is None:
+            del os.environ[ENGINE_ENV]
+        else:
+            os.environ[ENGINE_ENV] = prev
     digests = {case.label: digest_of(result_to_dict(res))
                for (case, _), res in zip(fns, results)}
     events = 0
-    peak_heap = 0
+    peak_pending = 0
+    cascades = 0
     for res in results:
         stats = getattr(res, "loop_stats", None) or {}
+        if stats.get("impl", engine) != engine:
+            raise RuntimeError(
+                f"{exp_id}: requested engine {engine!r} but loop_stats "
+                f"reports {stats.get('impl')!r}")
         events += stats.get("pops", 0)
-        peak_heap = max(peak_heap, stats.get("peak_heap", 0))
+        peak_pending = max(peak_pending, stats.get("peak_pending", 0))
+        cascades += stats.get("cascades", 0)
     wall = min(walls)
     return {
-        "duration_s": duration_s,
         "cases": len(cases),
         "wall_s": round(wall, 4),
         "events": events,
         "events_per_sec": round(events / wall) if wall > 0 else 0,
-        "peak_heap": peak_heap,
+        "peak_pending": peak_pending,
+        "cascades": cascades,
         "digest": digest_of(digests),
+        "case_digests": digests,
     }
 
 
+def run_experiment(exp_id: str, duration_s: float, passes: int) -> dict:
+    """Run one grid under both engines; enforce digest identity."""
+    engines = {}
+    for engine in ENGINES:
+        engines[engine] = run_grid(exp_id, engine, duration_s, passes)
+    ref = engines[ENGINES[0]]
+    for engine in ENGINES[1:]:
+        cur = engines[engine]
+        if cur["case_digests"] != ref["case_digests"]:
+            drifted = sorted(
+                label for label in ref["case_digests"]
+                if cur["case_digests"].get(label)
+                != ref["case_digests"][label])
+            raise DigestDivergence(
+                f"{exp_id}: engines {ENGINES[0]!r} and {engine!r} "
+                f"disagree on case(s) {', '.join(drifted) or '<set>'} — "
+                f"the wheel must fire bit-identically to the heap")
+    record = {
+        "duration_s": duration_s,
+        "cases": ref["cases"],
+        "digest": ref["digest"],
+        "engines": {},
+    }
+    for engine, rec in engines.items():
+        record["engines"][engine] = {
+            k: rec[k] for k in
+            ("wall_s", "events", "events_per_sec", "peak_pending",
+             "cascades")
+        }
+    return record
+
+
+def _selected_grids() -> list:
+    raw = os.environ.get("REPRO_PERF_GRIDS", "").strip()
+    if not raw:
+        return list(GRIDS)
+    selected = [g.strip() for g in raw.split(",") if g.strip()]
+    unknown = [g for g in selected if g not in GRIDS]
+    if unknown:
+        raise SystemExit(f"REPRO_PERF_GRIDS: unknown grid id(s) "
+                         f"{', '.join(unknown)}; known: {', '.join(GRIDS)}")
+    return selected
+
+
 def run_suite(duration_s: float, passes: int) -> dict:
-    cal = calibrate()
-    print(f"[perf] calibration: {cal:,.0f} loop events/s")
+    calibration = {}
+    for engine in ENGINES:
+        calibration[engine] = round(calibrate(engine))
+        print(f"[perf] calibration[{engine}]: "
+              f"{calibration[engine]:,} loop events/s")
     experiments = {}
-    for exp_id in GRIDS:
+    for exp_id in _selected_grids():
         rec = run_experiment(exp_id, duration_s, passes)
         experiments[exp_id] = rec
-        print(f"[perf] {exp_id}: {rec['cases']} cases in "
-              f"{rec['wall_s']:.2f}s — {rec['events_per_sec']:,} events/s, "
-              f"peak heap {rec['peak_heap']}, digest "
-              f"{rec['digest'][:12]}…")
+        for engine, eng in rec["engines"].items():
+            print(f"[perf] {exp_id}/{engine}: {rec['cases']} cases in "
+                  f"{eng['wall_s']:.2f}s — "
+                  f"{eng['events_per_sec']:,} events/s, "
+                  f"peak pending {eng['peak_pending']}, "
+                  f"cascades {eng['cascades']}")
+        print(f"[perf] {exp_id}: digest {rec['digest'][:12]}… "
+              f"(identical across {len(rec['engines'])} engines)")
     return {
-        "version": 1,
-        "calibration_events_per_sec": round(cal),
+        "version": 2,
+        "calibration": calibration,
         "experiments": experiments,
     }
 
@@ -140,30 +224,87 @@ def check(current: dict, baseline: dict, tolerance: float) -> list:
     """Compare a fresh run against the committed baseline.
 
     Returns a list of human-readable problems (empty = pass).  Digest
-    mismatches always fail; wall-clock is compared after scaling the
-    baseline by the two runs' calibration scores.
+    mismatches always fail; per-engine wall-clock is compared after
+    scaling the baseline by that engine's calibration scores.
     """
     problems = []
-    cal_now = current["calibration_events_per_sec"]
-    cal_base = baseline.get("calibration_events_per_sec") or cal_now
-    scale = cal_base / cal_now if cal_now else 1.0
+    if baseline.get("version") != 2:
+        return [f"baseline schema version {baseline.get('version')!r} "
+                f"is not 2 — rebaseline with: "
+                f"python benchmarks/perf_suite.py"]
+    cal_now = current["calibration"]
+    cal_base = baseline.get("calibration", {})
+    subset = bool(os.environ.get("REPRO_PERF_GRIDS", "").strip())
     for exp_id, base in baseline.get("experiments", {}).items():
         cur = current["experiments"].get(exp_id)
         if cur is None:
-            problems.append(f"{exp_id}: missing from current run")
+            # A REPRO_PERF_GRIDS smoke run legitimately checks a subset.
+            if not subset:
+                problems.append(f"{exp_id}: missing from current run")
             continue
         if cur["digest"] != base["digest"]:
             problems.append(
                 f"{exp_id}: result digest drifted "
                 f"({cur['digest'][:12]}… != {base['digest'][:12]}…) — "
                 f"speed must not buy behaviour change")
-        allowed = base["wall_s"] * scale * (1.0 + tolerance)
-        if cur["wall_s"] > allowed:
-            problems.append(
-                f"{exp_id}: wall-clock {cur['wall_s']:.2f}s exceeds "
-                f"{allowed:.2f}s (baseline {base['wall_s']:.2f}s × "
-                f"calibration {scale:.2f} × {1 + tolerance:.2f})")
+        for engine, eng_base in base.get("engines", {}).items():
+            eng_cur = cur.get("engines", {}).get(engine)
+            if eng_cur is None:
+                problems.append(f"{exp_id}/{engine}: missing from "
+                                f"current run")
+                continue
+            scale = 1.0
+            if cal_now.get(engine) and cal_base.get(engine):
+                scale = cal_base[engine] / cal_now[engine]
+            allowed = eng_base["wall_s"] * scale * (1.0 + tolerance)
+            if eng_cur["wall_s"] > allowed:
+                problems.append(
+                    f"{exp_id}/{engine}: wall-clock "
+                    f"{eng_cur['wall_s']:.2f}s exceeds {allowed:.2f}s "
+                    f"(baseline {eng_base['wall_s']:.2f}s × calibration "
+                    f"{scale:.2f} × {1 + tolerance:.2f})")
     return problems
+
+
+def _load_ref(current: dict, path: str) -> None:
+    """Record speedups against a prior suite run (v1 or v2 schema)."""
+    with open(path) as fh:
+        ref = json.load(fh)
+    reference = {"experiments": {}}
+    for exp_id, base in ref.get("experiments", {}).items():
+        cur = current["experiments"].get(exp_id)
+        if cur is None:
+            continue
+        if cur["digest"] != base["digest"]:
+            print(f"[perf] WARNING {exp_id}: digest differs from "
+                  f"reference — speedup not comparable")
+            continue
+        if "engines" in base:  # v2 reference: engine-for-engine
+            rec = {
+                engine: {
+                    "wall_s": eng["wall_s"],
+                    "speedup": round(
+                        eng["wall_s"]
+                        / cur["engines"][engine]["wall_s"], 3),
+                }
+                for engine, eng in base["engines"].items()
+                if engine in cur["engines"]
+            }
+        else:  # v1 reference (single heap engine): compare both
+            rec = {
+                engine: {
+                    "wall_s": base["wall_s"],
+                    "speedup": round(
+                        base["wall_s"] / eng_cur["wall_s"], 3),
+                }
+                for engine, eng_cur in cur["engines"].items()
+            }
+        reference["experiments"][exp_id] = rec
+        for engine, r in rec.items():
+            print(f"[perf] {exp_id}/{engine}: {r['speedup']}x vs "
+                  f"reference ({r['wall_s']:.2f}s -> "
+                  f"{cur['engines'][engine]['wall_s']:.2f}s)")
+    current["reference"] = reference
 
 
 def main() -> int:
@@ -176,11 +317,11 @@ def main() -> int:
                              "instead of overwriting it")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed wall-clock regression fraction "
-                             "with --check (default 0.25)")
+                             "per engine with --check (default 0.25)")
     parser.add_argument("--ref", default=None, metavar="PATH",
-                        help="a prior suite run (e.g. from the pre-"
-                             "optimisation commit) to record speedups "
-                             "against in the written baseline")
+                        help="a prior suite run (v1 or v2, e.g. from the "
+                             "pre-optimisation commit) to record "
+                             "speedups against in the written baseline")
     parser.add_argument("--snapshot", default=None, metavar="PATH",
                         help="also write this run's measurements to "
                              "PATH (useful with --check: the CI gate "
@@ -189,7 +330,11 @@ def main() -> int:
 
     duration = float(os.environ.get("REPRO_PERF_DURATION", "0.1"))
     passes = int(os.environ.get("REPRO_PERF_PASSES", "2"))
-    current = run_suite(duration, passes)
+    try:
+        current = run_suite(duration, passes)
+    except DigestDivergence as exc:
+        print(f"[perf] ENGINE DIVERGENCE {exc}")
+        return 1
 
     if args.snapshot:
         with open(args.snapshot, "w") as fh:
@@ -210,30 +355,12 @@ def main() -> int:
         if problems:
             return 1
         print(f"[perf] check passed against {args.out} "
-              f"(tolerance {args.tolerance:.0%})")
+              f"(tolerance {args.tolerance:.0%}, "
+              f"engines {', '.join(ENGINES)})")
         return 0
 
     if args.ref:
-        with open(args.ref) as fh:
-            ref = json.load(fh)
-        reference = {"experiments": {}}
-        for exp_id, base in ref.get("experiments", {}).items():
-            cur = current["experiments"].get(exp_id)
-            if cur is None:
-                continue
-            if cur["digest"] != base["digest"]:
-                print(f"[perf] WARNING {exp_id}: digest differs from "
-                      f"reference — speedup not comparable")
-                continue
-            reference["experiments"][exp_id] = {
-                "wall_s": base["wall_s"],
-                "speedup": round(base["wall_s"] / cur["wall_s"], 3),
-            }
-        current["reference"] = reference
-        for exp_id, rec in reference["experiments"].items():
-            print(f"[perf] {exp_id}: {rec['speedup']}x vs reference "
-                  f"({rec['wall_s']:.2f}s -> "
-                  f"{current['experiments'][exp_id]['wall_s']:.2f}s)")
+        _load_ref(current, args.ref)
 
     with open(args.out, "w") as fh:
         json.dump(current, fh, indent=1, sort_keys=True)

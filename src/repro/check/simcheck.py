@@ -30,6 +30,11 @@ enforces them statically (stdlib ``ast`` only, no third-party deps):
 * **SIM401** — RNG construction (``random.Random``,
   ``np.random.default_rng`` …) outside ``repro/sim/rng.py``: every
   stream must come from the seeded :class:`~repro.sim.rng.RngFactory`.
+* **SIM501** — direct ``heapq`` use outside ``repro/sim/engine.py``: the
+  timer-wheel/heap engines own every priority queue on the hot path, and
+  ad-hoc heaps re-introduce the O(log n)-per-event cost (and subtle
+  tie-ordering hazards) the engine exists to centralise.  Schedule
+  through the EventLoop instead.
 
 Suppression: append ``# simcheck: ignore[CODE]`` (comma-separate several
 codes) to the offending line.  Suppressions are counted and reported —
@@ -520,6 +525,41 @@ class RngConstructionRule(Rule):
                     f"{target}() constructed outside repro/sim/rng.py; "
                     f"request a named stream from RngFactory so seeding "
                     f"stays centralised")
+
+
+# ----------------------------------------------------------------------
+# SIM5xx — hot-path structure
+# ----------------------------------------------------------------------
+#: The one module allowed to touch heapq: the event-loop engines.
+_HEAPQ_ALLOWED = ("repro/sim/engine.py",)
+
+
+@register
+class HeapqOutsideEngineRule(Rule):
+    code = "SIM501"
+    summary = ("direct heapq use outside repro/sim/engine.py "
+               "(hot paths must schedule through the EventLoop)")
+
+    _MSG = ("direct heapq use outside repro/sim/engine.py; priority "
+            "queues on the hot path belong to the EventLoop engines "
+            "(call_at/call_after/call_every), which centralise "
+            "tie-ordering and amortise dispatch cost")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel in _HEAPQ_ALLOWED:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    if a.name == "heapq" or a.name.startswith("heapq."):
+                        yield self.finding(ctx, node, self._MSG)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "heapq" and not node.level:
+                    yield self.finding(ctx, node, self._MSG)
+            elif isinstance(node, ast.Call):
+                target = ctx.resolve_call(node.func)
+                if target is not None and target.startswith("heapq."):
+                    yield self.finding(ctx, node, self._MSG)
 
 
 # ----------------------------------------------------------------------

@@ -317,12 +317,6 @@ class ClusterScenario:
             core_utilization=core_utilization,
             series=dict(sampler.series),
             resilience={"cluster": self._cluster_summary()},
-            loop_stats={
-                "pushes": self.loop.pushes,
-                "pops": self.loop.pops,
-                "lazy_cancel_skips": self.loop.lazy_cancel_skips,
-                "compactions": self.loop.compactions,
-                "peak_heap": self.loop.peak_heap,
-            },
+            loop_stats=self.loop.stats_dict(),
             flow_latency=self.latency.to_dict(),
         )

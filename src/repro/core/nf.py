@@ -150,10 +150,13 @@ class NFProcess(CoreTask):
             return 0.0
         if self.io is not None and self.io.blocked:
             return 0.0
-        n = len(self.rx_ring)
+        n = self.rx_ring._count
         if n == 0:
             return 0.0
-        n = min(n, self.tx_ring.free)
+        tx = self.tx_ring
+        free = tx.capacity - tx._count
+        if free < n:
+            n = free
         if n == 0:
             return 0.0
         if self.io is not None and self.io.sync:
@@ -235,6 +238,35 @@ class NFProcess(CoreTask):
             fuse = io is None and self._forward_exact
             pending = 0
             svc_ns = 0.0
+            # Full-batch fast loop.  While whole batches fit (queue, Tx
+            # space and cycle budget all cover ``batch_size``), each
+            # iteration of the general loop below performs exactly
+            # ``budget = cycles_avail - consumed`` and ``consumed += cyc``
+            # with ``cyc == batch_size * c`` — the same two float ops in
+            # the same order as here, so the fusion is bit-identical; the
+            # remainder (partial batch, budget exhaustion) falls through
+            # to the general loop.  Gated on a positive sample period so
+            # the once-per-grant sampling shortcut below stays faithful.
+            cm = self.cost_model
+            if fuse and sample_period > 0 and type(cm) is FixedCost:
+                bs = batch_size
+                c = cm.cycles
+                cyc = bs * c
+                sampled = False
+                while qlen >= bs and free >= bs:
+                    budget = cycles_avail - consumed
+                    if budget < c or budget // c < bs:
+                        break
+                    consumed += cyc
+                    qlen -= bs
+                    free -= bs
+                    pending += bs
+                    if not sampled:
+                        sampled = True
+                        svc_ns = (cyc / bs) * self._ns_per_cycle
+                        if now_ns - self._last_sample_ns >= sample_period:
+                            self._last_sample_ns = now_ns
+                            self.service_estimator.add(now_ns, svc_ns)
             while True:
                 if io is not None and io.blocked:
                     outcome = ExecOutcome.IO_BLOCKED

@@ -138,8 +138,9 @@ class ScenarioResult:
     #: no fault plan): incident log, availability, detection/recovery
     #: latencies, packets lost vs requeued.  JSON-safe, digest-covered.
     resilience: Dict[str, Any] = field(default_factory=dict)
-    #: Event-loop hygiene counters captured at the end of the run
-    #: (pushes, pops, lazy_cancel_skips, compactions, peak_heap).
+    #: Event-loop hygiene counters captured at the end of the run via
+    #: :meth:`repro.sim.engine.EventLoop.stats_dict` (impl, pushes, pops,
+    #: lazy_cancel_skips, compactions, cascades, peak_pending).
     #: Machine-speed metadata for the perf suite — deliberately NOT
     #: serialised by :func:`repro.analysis.export.result_to_dict`, so it
     #: never enters a digest.
@@ -427,13 +428,7 @@ class Scenario:
                 mgr.faults.summary(horizon_ns=int(duration_s * SEC))
                 if mgr.faults is not None else {}
             ),
-            loop_stats={
-                "pushes": self.loop.pushes,
-                "pops": self.loop.pops,
-                "lazy_cancel_skips": self.loop.lazy_cancel_skips,
-                "compactions": self.loop.compactions,
-                "peak_heap": self.loop.peak_heap,
-            },
+            loop_stats=self.loop.stats_dict(),
             flow_latency=(mgr.latency.to_dict()
                           if mgr.latency is not None else {}),
             causality=(mgr.causality.summary(self.loop.now)

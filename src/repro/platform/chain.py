@@ -14,7 +14,7 @@ completions.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.metrics.histogram import CycleHistogram
 
@@ -45,8 +45,15 @@ class ServiceChain:
         #: chain exit, carried by each segment's origin timestamp.
         self.latency_hist = CycleHistogram()
 
+        # Successor map for O(1) next-hop routing on the Tx ferry path.
+        # Membership is fixed at construction; first occurrence wins for
+        # an NF appearing twice, matching ``list.index`` semantics.
+        self._next: Dict["NFProcess", Optional["NFProcess"]] = {}
+        last = len(self.nfs) - 1
         for position, nf in enumerate(self.nfs):
             nf.join_chain(self, position)
+            if nf not in self._next:
+                self._next[nf] = self.nfs[position + 1] if position < last else None
 
     def __len__(self) -> int:
         return len(self.nfs)
@@ -66,10 +73,10 @@ class ServiceChain:
 
     def next_nf(self, nf: "NFProcess") -> Optional["NFProcess"]:
         """The NF after ``nf``, or None when ``nf`` is the chain tail."""
-        idx = self.position_of(nf)
-        if idx + 1 < len(self.nfs):
-            return self.nfs[idx + 1]
-        return None
+        try:
+            return self._next[nf]
+        except KeyError:
+            raise ValueError(f"{nf!r} is not in chain {self.name!r}") from None
 
     def upstream_of(self, nf: "NFProcess") -> List["NFProcess"]:
         """All NFs strictly before ``nf`` in this chain."""

@@ -30,6 +30,9 @@ from repro.platform.packet import Flow, PacketSegment
 #: The drop-reason taxonomy every ring accounts under.
 DROP_REASONS = ("full", "sealed", "nf_dead", "purged")
 
+#: Shared empty result for :meth:`PacketRing.drain` misses (never mutated).
+_EMPTY_DEQUE: Deque[PacketSegment] = deque()
+
 
 class PacketRing:
     """FIFO ring of :class:`PacketSegment` with a hard capacity."""
@@ -169,7 +172,14 @@ class PacketRing:
                 tail.count += accepted
                 self.coalesce_hits += 1
             else:
-                seg = PacketSegment(flow, accepted, now, origin)
+                # Bypass __init__: accepted > 0 here and now/origin are
+                # already integers, so validation would be pure overhead
+                # on the hottest allocation site in the simulator.
+                seg = PacketSegment.__new__(PacketSegment)
+                seg.flow = flow
+                seg.count = accepted
+                seg.enqueue_ns = now
+                seg.origin_ns = origin
                 seg.span = span
                 segments.append(seg)
                 self.coalesce_misses += 1
@@ -286,6 +296,28 @@ class PacketRing:
                 self.bus.publish("ring.dequeue", self.name,
                                  count=taken_total, depth=self._count)
         return out
+
+    def drain(self) -> "Deque[PacketSegment]":
+        """Remove and return every queued segment in FIFO order.
+
+        Equivalent to ``dequeue(len(ring))`` but O(1) in accounting: the
+        Tx ferry always takes everything, so the per-segment split/count
+        bookkeeping of :meth:`dequeue` collapses to zeroing the chain
+        counts wholesale.  Sealed rings yield nothing, like ``dequeue``.
+        """
+        n = self._count
+        if not n or self.sealed:
+            return _EMPTY_DEQUE
+        segments = self._segments
+        self._segments = deque()
+        self._count = 0
+        self.dequeued_total += n
+        chain_counts = self._chain_counts
+        for key in chain_counts:
+            chain_counts[key] = 0
+        if self.bus is not None and self.bus.active:
+            self.bus.publish("ring.dequeue", self.name, count=n, depth=0)
+        return segments
 
     def peek_head(self) -> Optional[PacketSegment]:
         """The oldest segment without removing it (None when empty)."""

@@ -18,7 +18,10 @@ from repro.platform.config import PlatformConfig
 from repro.platform.flow_table import FlowTable
 from repro.platform.nic import NIC
 from repro.platform.wakeup import WakeupSubsystem
+from repro.sched.base import TaskState
 from repro.sim.engine import EventHandle, EventLoop
+
+_BLOCKED = TaskState.BLOCKED
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.backpressure import BackpressureController
@@ -81,13 +84,18 @@ class RxThread:
         """Drain the NIC ring, classify, early-discard or deliver."""
         now = self.loop.now
         shed = self.backpressure is not None
+        ring = self.nic.rx_ring
         if self._budget_per_poll is None:
-            budget = self.nic.rx_ring.capacity
+            budget = ring.capacity
         else:
+            # The carry accrues every poll, packets or not, so a capped
+            # thread's budget sequence is independent of arrival timing.
             self._budget_carry += self._budget_per_poll
             budget = int(self._budget_carry)
             self._budget_carry -= budget
-        for seg in self.nic.rx_ring.dequeue(budget):
+        if not ring._count:
+            return
+        for seg in ring.dequeue(budget):
             flow = seg.flow
             chain = self.flow_table.lookup(flow)
             if chain is None:
@@ -104,7 +112,7 @@ class RxThread:
                     self.bus.publish("rx.discard", chain.name,
                                      count=seg.count, flow=flow.flow_id)
                 continue
-            first = chain.first()
+            first = chain.nfs[0]
             span = None
             if self.spans is not None:
                 span = self.spans.maybe_start(flow.flow_id, seg.count,
@@ -125,4 +133,5 @@ class RxThread:
                     if to_mark:
                         self.ecn.mark(flow, to_mark, now)
                 self.delivered += accepted
-                self.wakeup.notify(first)
+                if first.state is _BLOCKED:
+                    self.wakeup.notify(first)

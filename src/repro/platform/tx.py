@@ -23,7 +23,10 @@ from typing import List, Optional, TYPE_CHECKING
 from repro.platform.config import PlatformConfig
 from repro.platform.nic import NIC
 from repro.platform.wakeup import WakeupSubsystem
+from repro.sched.base import TaskState
 from repro.sim.engine import EventHandle, EventLoop
+
+_BLOCKED = TaskState.BLOCKED
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.backpressure import BackpressureController
@@ -86,17 +89,20 @@ class TxThread:
     # ------------------------------------------------------------------
     def poll(self) -> None:
         now = self.loop.now
+        route = self._route
+        notify = self.wakeup.notify
         for nf in self.nfs:
             ring = nf.tx_ring
-            segments = ring.dequeue(len(ring))
-            if not segments:
+            if not ring._count:
                 continue
-            for seg in segments:
-                self._route(nf, seg, now)
+            for seg in ring.drain():
+                route(nf, seg, now)
             # The NF may have been blocked on a full Tx ring; there is room
             # again, so give it a chance to resume (local backpressure
-            # release, §3.3).
-            self.wakeup.notify(nf)
+            # release, §3.3).  notify() is a no-op unless the NF is
+            # blocked, so the state check is pure fast-path.
+            if nf.state is _BLOCKED:
+                notify(nf)
         if self.ecn is not None:
             for nf in self.nfs:
                 self.ecn.observe(nf.rx_ring)
@@ -116,7 +122,7 @@ class TxThread:
             self.nic.transmit(seg)
             self.egressed += seg.count
             return
-        nxt = chain.next_nf(nf)
+        nxt = chain._next[nf]
         if nxt is None:
             if seg.span is not None:
                 seg.span.finish(now)
@@ -174,4 +180,5 @@ class TxThread:
                 to_mark = int(round(accepted * fraction))
                 if to_mark:
                     self.ecn.mark(flow, to_mark, now)
-            self.wakeup.notify(nxt)
+            if nxt.state is _BLOCKED:
+                self.wakeup.notify(nxt)

@@ -90,15 +90,21 @@ class WakeupSubsystem:
             return True
         if nf.io is not None and nf.io.blocked:
             return False
-        if len(nf.rx_ring) == 0:
+        if nf.rx_ring._count == 0:
             return False
-        if nf.tx_ring.free == 0:
+        tx = nf.tx_ring
+        if tx._count >= tx.capacity:
             return False
         return True
 
     def notify(self, nf: "NFProcess") -> bool:
         """Fast-path wake attempt after an enqueue or a resource release."""
-        if nf.core is None or not self.eligible(nf):
+        # Cheap reject first: eligibility starts with the same state test,
+        # so most data-path notifies (target already READY/RUNNING) return
+        # here without the full eligibility walk.
+        if nf.core is None or nf.state is not TaskState.BLOCKED:
+            return False
+        if not self.eligible(nf):
             return False
         if nf.core.wake(nf):
             self.wakeups_posted += 1
@@ -112,5 +118,7 @@ class WakeupSubsystem:
         """Periodic pass: advance backpressure, then wake whoever is ready."""
         if self.backpressure is not None:
             self.backpressure.evaluate(self.loop.now)
+        notify = self.notify
         for nf in self.nfs:
-            self.notify(nf)
+            if nf.state is TaskState.BLOCKED:
+                notify(nf)

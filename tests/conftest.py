@@ -8,9 +8,14 @@ from repro.platform.config import PlatformConfig
 from repro.sim.engine import EventLoop
 
 
-@pytest.fixture
-def loop() -> EventLoop:
-    return EventLoop()
+@pytest.fixture(params=["heap", "wheel"])
+def loop(request) -> EventLoop:
+    """An EventLoop, parametrized over both engines.
+
+    Any test taking this fixture runs once per implementation, so the
+    whole suite doubles as an equivalence battery for the timer wheel.
+    """
+    return EventLoop(impl=request.param)
 
 
 @pytest.fixture

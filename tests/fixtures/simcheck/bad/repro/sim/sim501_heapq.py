@@ -1,0 +1,20 @@
+"""SIM501 fixture: direct heapq use outside repro/sim/engine.py.
+
+Five findings: the two import statements and the three call sites.
+"""
+
+import heapq                              # finding 1
+from heapq import heappush as push       # finding 2
+
+
+def drain_in_order(items):
+    heap = list(items)
+    heapq.heapify(heap)                   # finding 3
+    out = []
+    while heap:
+        out.append(heapq.heappop(heap))   # finding 4
+    return out
+
+
+def enqueue(heap, item):
+    push(heap, item)                      # finding 5 (resolved alias)

@@ -1,0 +1,9 @@
+"""SIM501 clean look-alike: heapq inside repro/sim/engine.py is the
+one allowed location — the event-loop engines own the priority queues.
+"""
+
+import heapq
+
+
+def pop_min(heap):
+    return heapq.heappop(heap)

@@ -1,0 +1,237 @@
+"""Wheel-vs-heap equivalence battery.
+
+The two EventLoop engines must be observationally identical: any program
+of ``call_at``/``call_after``/``call_every``/``cancel`` (including cancel
+after fire and scheduling/cancelling from inside callbacks) must produce
+the same firing sequence — same tags, same instants, same tie-break order
+— and leave the loop in the same observable state.  Campaign digests
+being bit-identical between engines reduces to exactly this property.
+
+The random program interpreter below deliberately mixes time scales so
+every wheel structure is exercised: the active window (< 4.096 µs),
+all three bucket levels, and the far-future overflow heap (> 2**36 ns),
+plus cascades between them and windows skipped over idle gaps.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import EventLoop
+
+# Offsets straddling every wheel level boundary (slot width 2**12 ns,
+# level spans 2**20 / 2**28 / 2**36 ns) plus the far-overflow region.
+_OFFSETS = st.one_of(
+    st.integers(0, 5_000),
+    st.integers(0, (1 << 21) + 3),
+    st.integers((1 << 20) - 2, (1 << 20) + 2),
+    st.integers(0, (1 << 29) + 7),
+    st.integers((1 << 28) - 2, (1 << 28) + 2),
+    st.integers((1 << 36) - 4_096, (1 << 36) + (1 << 20)),
+    st.integers(0, 1 << 40),
+)
+
+_PERIODS = st.one_of(
+    st.integers(1, 1_000),
+    st.integers(1, 1 << 22),
+    st.integers(1 << 27, 1 << 30),
+)
+
+# Ops runnable from inside a callback (no nested run_until/step — the
+# engines forbid re-entrant draining just like asyncio does).
+_NESTED_OP = st.one_of(
+    st.tuples(st.just("at"), _OFFSETS),
+    st.tuples(st.just("after"), _OFFSETS),
+    st.tuples(st.just("every"), _PERIODS),
+    st.tuples(st.just("cancel"), st.integers(0, 63)),
+)
+
+_TOP_OP = st.one_of(
+    st.tuples(st.just("at"), _OFFSETS, st.lists(_NESTED_OP, max_size=3)),
+    st.tuples(st.just("after"), _OFFSETS, st.lists(_NESTED_OP, max_size=3)),
+    st.tuples(st.just("every"), _PERIODS, st.lists(_NESTED_OP, max_size=2)),
+    st.tuples(st.just("cancel"), st.integers(0, 63), st.just(())),
+    st.tuples(st.just("run"), _OFFSETS, st.just(())),
+    st.tuples(st.just("step"), st.just(0), st.just(())),
+)
+
+#: A periodic handle auto-cancels after this many fires so run_until over
+#: a huge horizon stays bounded.  Deterministic, hence engine-invariant.
+_MAX_FIRES = 30
+
+
+def _interpret(impl: str, program):
+    """Run ``program`` on a fresh loop; return (trace, final state)."""
+    loop = EventLoop(impl=impl)
+    handles = []
+    trace = []
+    fires = {}
+    tag_counter = [0]
+
+    def schedule(kind, amount, nested):
+        tag = tag_counter[0]
+        tag_counter[0] += 1
+        periodic = kind == "every"
+
+        def cb():
+            trace.append((tag, loop.now))
+            n = fires.get(tag, 0) + 1
+            fires[tag] = n
+            if periodic and n >= _MAX_FIRES:
+                handle.cancel()
+                return
+            for op in nested:
+                apply(op, ())
+
+        if kind == "at":
+            handle = loop.call_at(loop.now + amount, cb)
+        elif kind == "after":
+            handle = loop.schedule(amount, cb)
+        else:
+            handle = loop.call_every(amount, cb)
+        handles.append(handle)
+
+    def apply(op, nested_tail):
+        kind, amount = op[0], op[1]
+        nested = op[2] if len(op) > 2 else nested_tail
+        if kind in ("at", "after", "every"):
+            schedule(kind, amount, nested)
+        elif kind == "cancel":
+            if handles:
+                handles[amount % len(handles)].cancel()
+        elif kind == "run":
+            loop.run_until(loop.now + amount)
+        elif kind == "step":
+            loop.step()
+
+    for op in program:
+        apply(op, ())
+    # Drain what's left so late/far events are compared too.
+    loop.run(max_events=20_000)
+    state = (loop.now, loop.pending, loop.pushes, loop.pops)
+    return trace, state
+
+
+@settings(max_examples=80, deadline=None)
+@given(program=st.lists(_TOP_OP, min_size=1, max_size=40))
+def test_random_program_equivalence(program):
+    heap_trace, heap_state = _interpret("heap", program)
+    wheel_trace, wheel_state = _interpret("wheel", program)
+    assert wheel_trace == heap_trace
+    assert wheel_state == heap_state
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    offsets=st.lists(_OFFSETS, min_size=1, max_size=30),
+    horizon=_OFFSETS,
+)
+def test_one_shot_ordering_equivalence(offsets, horizon):
+    """Pure call_at programs: identical (time, tie-break) firing order."""
+
+    def run(impl):
+        loop = EventLoop(impl=impl)
+        trace = []
+        for i, off in enumerate(offsets):
+            loop.call_at(off, (lambda v: lambda: trace.append((v, loop.now)))(i))
+        loop.run_until(horizon)
+        trace.append(("now", loop.now, loop.pending))
+        loop.run()
+        return trace
+
+    assert run("wheel") == run("heap")
+
+
+def test_far_future_event_interleaves_with_near_ones():
+    """An overflow-heap event must fire in exact order once the window
+    reaches it, even when nearer events are scheduled around it later."""
+
+    def run(impl):
+        loop = EventLoop(impl=impl)
+        trace = []
+        far_t = (1 << 36) + 12_345           # beyond the wheel span
+        loop.call_at(far_t, lambda: trace.append(("far", loop.now)))
+        # March the clock most of the way there, then surround the far
+        # event with near ones — same instant included.
+        loop.run_until(far_t - 500)
+        for d, tag in ((far_t - 100, "before"), (far_t, "same_a"),
+                       (far_t, "same_b"), (far_t + 50, "after")):
+            loop.call_at(d, (lambda v: lambda: trace.append((v, loop.now)))(tag))
+        loop.run()
+        return trace
+
+    out = run("wheel")
+    assert out == run("heap")
+    assert [t for t, _ in out] == ["before", "far", "same_a", "same_b", "after"]
+
+
+def test_mid_callback_same_instant_scheduling_matches():
+    """Events scheduled at ``now`` from a callback fire this instant, after
+    everything already queued for it — identically on both engines."""
+
+    def run(impl):
+        loop = EventLoop(impl=impl)
+        trace = []
+
+        def first():
+            trace.append("first")
+            loop.call_at(loop.now, lambda: trace.append("nested"))
+            loop.schedule(0, lambda: trace.append("nested2"))
+
+        loop.call_at(1000, first)
+        loop.call_at(1000, lambda: trace.append("second"))
+        loop.run_until(1000)
+        return trace
+
+    out = run("wheel")
+    assert out == run("heap")
+    assert out == ["first", "second", "nested", "nested2"]
+
+
+def test_cancel_after_fire_is_noop_on_both():
+    for impl in ("heap", "wheel"):
+        loop = EventLoop(impl=impl)
+        h = loop.schedule(10, lambda: None)
+        live = loop.schedule(20, lambda: None)
+        loop.run_until(15)
+        h.cancel()                 # already fired: must not double-decrement
+        assert loop.pending == 1, impl
+        live.cancel()
+        assert loop.pending == 0, impl
+
+
+def test_periodic_cancel_from_own_callback_matches():
+    def run(impl):
+        loop = EventLoop(impl=impl)
+        trace = []
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            trace.append(loop.now)
+            if count[0] == 5:
+                handle.cancel()
+
+        handle = loop.call_every(70_000, tick)  # crosses slot boundaries
+        loop.run_until(10**7)
+        trace.append(loop.pending)
+        return trace
+
+    assert run("wheel") == run("heap")
+
+
+def test_unknown_impl_rejected():
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown EventLoop impl"):
+        EventLoop(impl="calendar")
+
+
+def test_env_var_selects_engine(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "heap")
+    assert EventLoop().impl == "heap"
+    monkeypatch.setenv("REPRO_ENGINE", "wheel")
+    assert EventLoop().impl == "wheel"
+    monkeypatch.delenv("REPRO_ENGINE")
+    assert EventLoop().impl == "wheel"   # default engine

@@ -31,6 +31,7 @@ EXPECTED = {
     "sim201_set_iteration.py": ("SIM201", 4),
     "sim301_float_ns.py": ("SIM301", 7),
     "sim401_rng_construction.py": ("SIM401", 3),
+    "sim501_heapq.py": ("SIM501", 5),
 }
 
 
@@ -48,7 +49,7 @@ def test_bad_fixture_fires_exactly_its_rule(name, code, count):
 
 def test_clean_fixtures_are_silent():
     reports, suppressed = check_paths([str(CLEAN)])
-    assert len(reports) == 4
+    assert len(reports) == 5
     assert suppressed == 0
     for report in reports:
         assert report.error is None
@@ -76,7 +77,7 @@ def test_rule_registry_codes_unique_and_documented():
     codes = [r.code for r in rules]
     assert len(codes) == len(set(codes))
     assert {"SIM101", "SIM102", "SIM103",
-            "SIM201", "SIM301", "SIM401"} <= set(codes)
+            "SIM201", "SIM301", "SIM401", "SIM501"} <= set(codes)
     assert all(r.summary for r in rules)
 
 
