@@ -9,6 +9,10 @@ measurement logs).
 
 from __future__ import annotations
 
+#: Digest-safety contract marker, verified by ``repro check --deep``
+#: (SIM603) against ``repro.check.registry.MARKED_MODULES``.
+__digest_safety__ = "digest-checked: serialises the digest payload"
+
 import dataclasses
 import json
 from pathlib import Path

@@ -338,7 +338,26 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.check.simcheck import main as simcheck_main
 
-    return simcheck_main(args.paths or ["src"], as_json=args.json)
+    out = None
+    if args.output is not None:
+        out = open(args.output, "w", encoding="utf-8")
+    try:
+        return simcheck_main(
+            args.paths or ["src"],
+            as_json=args.json,
+            out=out,
+            deep=args.deep,
+            fmt=args.format,
+            baseline=args.check_baseline,
+            update_baseline=args.update_baseline,
+            explain_code=args.explain,
+            jobs=args.jobs,
+            cache=args.cache,
+            no_cache=args.no_cache,
+        )
+    finally:
+        if out is not None:
+            out.close()
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
@@ -512,7 +531,38 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("paths", nargs="*", metavar="PATH",
                        help="files or directories to lint (default: src)")
     check.add_argument("--json", action="store_true",
-                       help="machine-readable JSON report")
+                       help="machine-readable JSON report (same as "
+                            "--format json)")
+    check.add_argument("--deep", action="store_true",
+                       help="also run the whole-program flow passes "
+                            "(digest taint SIM6xx, lifted SIM101/SIM401 "
+                            "as SIM611/SIM612, pool safety SIM7xx) over "
+                            "the project call graph")
+    check.add_argument("--format", default=None,
+                       choices=["text", "json", "sarif"],
+                       help="output format (sarif targets GitHub code "
+                            "scanning)")
+    check.add_argument("-o", "--output", default=None, metavar="PATH",
+                       help="write the report to PATH instead of stdout")
+    check.add_argument("--baseline", dest="check_baseline", default=None,
+                       metavar="PATH",
+                       help="suppress findings matching the committed "
+                            "baseline (staged adoption); new findings "
+                            "still fail")
+    check.add_argument("--update-baseline", action="store_true",
+                       help="rewrite --baseline from the current "
+                            "findings and exit 0")
+    check.add_argument("--explain", default=None, metavar="CODE",
+                       help="print the documentation for one rule code "
+                            "(e.g. SIM601) and exit")
+    check.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for --deep per-file "
+                            "parsing (default: min(cpus, 8))")
+    check.add_argument("--cache", default=None, metavar="PATH",
+                       help="incremental cache path for --deep "
+                            "(default: .cache/simcheck.json)")
+    check.add_argument("--no-cache", action="store_true",
+                       help="disable the --deep incremental cache")
     check.set_defaults(func=_cmd_check)
 
     topo = sub.add_parser("topology", help="run a declarative JSON topology")

@@ -19,6 +19,10 @@ path).
 
 from __future__ import annotations
 
+#: Digest-safety contract marker, verified by ``repro check --deep``
+#: (SIM603) against ``repro.check.registry.MARKED_MODULES``.
+__digest_safety__ = "digest-invisible: SLO/backpressure telemetry summaries"
+
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.cgroup_policy import compute_shares

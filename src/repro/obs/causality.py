@@ -29,6 +29,10 @@ untouched, so digests are identical with the tracer on or off.
 
 from __future__ import annotations
 
+#: Digest-safety contract marker, verified by ``repro check --deep``
+#: (SIM603) against ``repro.check.registry.MARKED_MODULES``.
+__digest_safety__ = "digest-invisible: backpressure attribution telemetry"
+
 from bisect import bisect_left, bisect_right
 from typing import Any, Dict, List, Tuple
 

@@ -29,6 +29,10 @@ form is digest-invisible, like ``ScenarioResult.loop_stats``.
 
 from __future__ import annotations
 
+#: Digest-safety contract marker, verified by ``repro check --deep``
+#: (SIM603) against ``repro.check.registry.MARKED_MODULES``.
+__digest_safety__ = "digest-invisible: per-flow sojourn telemetry"
+
 from typing import Any, Dict, List, Tuple
 
 from repro.metrics.histogram import CycleHistogram

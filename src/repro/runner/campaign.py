@@ -19,7 +19,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.runner.digest import combine_digests, digest_of
+from repro.runner.digest import (
+    combine_digests,
+    digest_of,
+    ensure_digest_safe,
+)
 from repro.runner.pool import TaskOutcome, run_tasks
 from repro.runner.tasks import TaskSpec, enumerate_tasks
 
@@ -137,7 +141,8 @@ def _aggregate(exp_id: str, module_path: str,
         )
 
     digest = combine_digests(
-        f"{o.spec.label}:{digest_of(o.payload['value'])}" for o in outcomes
+        f"{o.spec.label}:{digest_of(ensure_digest_safe(o.payload['value']))}"
+        for o in outcomes
     )
     if len(outcomes) == 1 and outcomes[0].spec.fn == "main":
         artifact = outcomes[0].payload["value"]

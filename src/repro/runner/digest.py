@@ -19,10 +19,38 @@ import hashlib
 import json
 from typing import Any, Iterable
 
+#: Digest-safety contract marker, verified by ``repro check --deep``
+#: (SIM603) against :data:`repro.check.registry.MARKED_MODULES`.
+__digest_safety__ = "digest-checked: canonicalises and hashes payloads"
+
+#: Top-level payload keys that must never appear in a digested value —
+#: mirrors ``repro.check.registry.DIGEST_INVISIBLE_FIELDS`` (kept
+#: literal here so the hot path never imports the analyzer).
+_INVISIBLE_KEYS = frozenset({"loop_stats", "flow_latency", "causality",
+                             "slo", "telemetry"})
+
 
 def canonical_json(value: Any) -> str:
     """Deterministic JSON encoding of a JSON-compatible value."""
     return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def ensure_digest_safe(value: Any) -> Any:
+    """Runtime backstop for the static digest-taint pass (SIM601).
+
+    Rejects a payload whose top level carries a digest-invisible
+    telemetry key: hashing one would make campaign digests depend on
+    telemetry settings.  Returns ``value`` unchanged so it can wrap a
+    digest call inline.
+    """
+    if isinstance(value, dict):
+        leaked = sorted(_INVISIBLE_KEYS.intersection(value))
+        if leaked:
+            raise ValueError(
+                f"digest payload contains digest-invisible key(s) "
+                f"{leaked}; telemetry must stay out of the digest "
+                f"(see docs/static-analysis.md, rule SIM601)")
+    return value
 
 
 def digest_of(value: Any) -> str:

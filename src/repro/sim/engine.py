@@ -37,6 +37,10 @@ is picked per loop with ``EventLoop(impl=...)`` or globally with the
 
 from __future__ import annotations
 
+#: Digest-safety contract marker, verified by ``repro check --deep``
+#: (SIM603) against ``repro.check.registry.MARKED_MODULES``.
+__digest_safety__ = "digest-invisible: loop_stats instrumentation only"
+
 import heapq
 import math
 import os

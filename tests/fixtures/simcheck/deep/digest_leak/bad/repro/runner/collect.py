@@ -1,0 +1,12 @@
+"""Fixture: payload builder leaking telemetry into the digest.
+
+``loop_stats`` is digest-invisible, but here it lands under a
+non-telemetry key in the payload that ``report.report_digest`` hashes —
+the cross-module leak SIM601 must catch with a call-chain witness.
+"""
+
+
+def collect(result):  # noqa: ANN001 - fixture
+    payload = {"throughput": result.total_throughput_pps}
+    payload["debug"] = result.loop_stats
+    return payload

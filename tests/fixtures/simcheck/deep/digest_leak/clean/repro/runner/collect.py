@@ -1,0 +1,12 @@
+"""Fixture: payload builder keeping telemetry out of the digest.
+
+The invisible read only happens under the registered telemetry gate, so
+the value rides beside the digest payload, never inside it.
+"""
+
+
+def collect(result, include_telemetry=False):  # noqa: ANN001 - fixture
+    payload = {"throughput": result.total_throughput_pps}
+    if include_telemetry:
+        payload["telemetry"] = {"loop_stats": result.loop_stats}
+    return payload

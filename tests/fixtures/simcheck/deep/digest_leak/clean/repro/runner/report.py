@@ -1,0 +1,8 @@
+"""Fixture: digest assembly over a telemetry-clean payload builder."""
+
+from repro.runner.collect import collect
+from repro.runner.digest import digest_of
+
+
+def report_digest(result: object) -> str:
+    return digest_of(collect(result))

@@ -1,0 +1,22 @@
+"""Fixture: module/class state that breaks --workers invariance."""
+
+_CACHE = {}
+_TOTALS = []
+_MODE = "idle"
+
+
+class ChainState:
+    registry = {}
+
+    def __init__(self) -> None:
+        self.items = []
+
+
+def record(name, value):  # noqa: ANN001 - fixture
+    _CACHE[name] = value
+    _TOTALS.append(value)
+
+
+def set_mode(mode):  # noqa: ANN001 - fixture
+    global _MODE
+    _MODE = mode

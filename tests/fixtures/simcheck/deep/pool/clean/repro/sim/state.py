@@ -1,0 +1,15 @@
+"""Fixture: per-instance state, no cross-run module mutation."""
+
+
+class ChainState:
+    def __init__(self) -> None:
+        self.cache = {}
+        self.totals = []
+        self.mode = "idle"
+
+    def record(self, name, value):  # noqa: ANN001 - fixture
+        self.cache[name] = value
+        self.totals.append(value)
+
+    def set_mode(self, mode):  # noqa: ANN001 - fixture
+        self.mode = mode

@@ -1,0 +1,12 @@
+"""Fixture: ScenarioResult grows a field missing from the registry."""
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class ScenarioResult:
+    scheduler: str
+    duration_s: float
+    loop_stats: Dict[str, int]
+    debug_counters: Dict[str, int]

@@ -1,0 +1,11 @@
+"""Fixture: ScenarioResult with every field declared in the registry."""
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class ScenarioResult:
+    scheduler: str
+    duration_s: float
+    loop_stats: Dict[str, int]

@@ -1,0 +1,7 @@
+"""Fixture: simulation code reaching the rogue constructor."""
+
+from repro.sim.rng import rogue_generator
+
+
+def setup():  # noqa: ANN201 - fixture
+    return rogue_generator()

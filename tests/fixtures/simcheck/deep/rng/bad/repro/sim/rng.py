@@ -1,0 +1,17 @@
+"""Fixture: the allowlisted RNG module grows a rogue constructor.
+
+File-local SIM401 exempts everything in ``repro/sim/rng.py``; the
+lifted SIM612 must flag constructions outside the sanctioned factory
+surface.
+"""
+
+import numpy as np
+
+
+class RngFactory:
+    def stream(self, name: str):  # noqa: ANN201 - fixture
+        return np.random.default_rng(hash(name) % 2**32)
+
+
+def rogue_generator():  # noqa: ANN201 - fixture
+    return np.random.default_rng()

@@ -1,0 +1,7 @@
+"""Fixture: simulation code using the sanctioned factory."""
+
+from repro.sim.rng import RngFactory
+
+
+def setup():  # noqa: ANN201 - fixture
+    return RngFactory().stream("arrivals")

@@ -1,0 +1,12 @@
+"""Fixture: RNG construction only on the sanctioned factory surface."""
+
+import numpy as np
+
+
+class RngFactory:
+    def stream(self, name: str):  # noqa: ANN201 - fixture
+        return np.random.default_rng(hash(name) % 2**32)
+
+
+def fallback_generator():  # noqa: ANN201 - fixture
+    return np.random.default_rng(0)

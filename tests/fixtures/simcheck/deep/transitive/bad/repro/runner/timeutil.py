@@ -1,0 +1,11 @@
+"""Fixture: harness helper reading the wall clock.
+
+File-local SIM101 is silent here (``repro/runner/`` is allowlisted);
+the lifted SIM611 must flag it once simulation code can reach it.
+"""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,7 @@
+"""Fixture: simulation code calling into an allowlisted helper."""
+
+from repro.runner.timeutil import stamp
+
+
+def boot_clock() -> float:
+    return stamp()

@@ -1,0 +1,5 @@
+"""Fixture: harness helper taking simulated time as an input."""
+
+
+def stamp(now_ns: int) -> int:
+    return now_ns // 1_000_000

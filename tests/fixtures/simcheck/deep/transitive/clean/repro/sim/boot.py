@@ -1,0 +1,7 @@
+"""Fixture: simulation code passing simulated time into the helper."""
+
+from repro.runner.timeutil import stamp
+
+
+def boot_clock(now_ns: int) -> int:
+    return stamp(now_ns)

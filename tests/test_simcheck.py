@@ -108,6 +108,51 @@ def test_exit_code_two_on_parse_error(tmp_path):
     assert "ERROR" in out.getvalue()
 
 
+def test_parse_error_does_not_abort_the_batch(tmp_path):
+    """A broken file is a per-file error entry; the rest still scans."""
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    (tmp_path / "uses_clock.py").write_text(
+        "import time\n\ndef f():\n    return time.time()\n")
+    out = io.StringIO()
+    assert main([str(tmp_path)], as_json=True, out=out) == 2
+    payload = json.loads(out.getvalue())
+    assert len(payload["errors"]) == 1
+    assert payload["errors"][0]["path"].endswith("broken.py")
+    codes = {f["code"] for f in payload["findings"]}
+    assert "SIM101" in codes  # the parseable file was still linted
+
+
+def test_sarif_output_structure():
+    out = io.StringIO()
+    assert main([str(FIXTURES / "bad")], fmt="sarif", out=out) == 1
+    doc = json.loads(out.getvalue())
+    assert doc["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in doc["$schema"]
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "simcheck"
+    rule_ids = {r["id"] for r in driver["rules"]}
+    assert {"SIM101", "SIM501"} <= rule_ids
+    assert all(r["shortDescription"]["text"] for r in driver["rules"])
+    assert run["results"], "expected findings in SARIF results"
+    for res in run["results"]:
+        assert res["ruleId"] in rule_ids
+        assert res["level"] == "error"
+        assert res["message"]["text"]
+        (loc,) = res["locations"]
+        region = loc["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1  # SARIF columns are 1-based
+        assert res["partialFingerprints"]["simcheck/v1"]
+
+
+def test_sarif_clean_tree_has_empty_results():
+    out = io.StringIO()
+    assert main([str(CLEAN)], fmt="sarif", out=out) == 0
+    doc = json.loads(out.getvalue())
+    assert doc["runs"][0]["results"] == []
+
+
 def test_repo_src_tree_is_clean_with_zero_suppressions():
     out = io.StringIO()
     assert main([str(REPO / "src")], out=out) == 0
